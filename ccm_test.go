@@ -1,0 +1,148 @@
+package ccm
+
+import (
+	"testing"
+)
+
+func TestQuickStartFlow(t *testing.T) {
+	c := NewComputation(1)
+	w := c.AddNode(W(0))
+	r := c.AddNode(R(0))
+	c.MustAddEdge(w, r)
+
+	phi := NewObserver(c)
+	phi.Set(0, r, w)
+
+	for _, m := range []Model{SC, LC, NN, NW, WN, WW, Trivial} {
+		if !m.Contains(c, phi) {
+			t.Errorf("%s rejected the canonical pair", m.Name())
+		}
+	}
+
+	stale := NewObserver(c) // read observes ⊥ past the write
+	if SC.Contains(c, stale) || NN.Contains(c, stale) {
+		t.Error("stale read accepted")
+	}
+	if !Trivial.Contains(c, stale) {
+		t.Error("Trivial must accept any valid observer")
+	}
+}
+
+func TestLastWriterObserver(t *testing.T) {
+	c := NewComputation(1)
+	w := c.AddNode(W(0))
+	r := c.AddNode(R(0))
+	c.MustAddEdge(w, r)
+	order, err := c.Dag().TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := LastWriterObserver(c, order)
+	if o.Get(0, r) != w {
+		t.Fatal("last writer wrong")
+	}
+	if !SC.Contains(c, o) {
+		t.Fatal("last-writer observer must be SC")
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	c := NewComputation(1)
+	o := NewObserver(c)
+	both := Intersection("SC∩LC", SC, LC)
+	either := Union("SC∪LC", SC, LC)
+	if !both.Contains(c, o) || !either.Contains(c, o) {
+		t.Fatal("combinators reject the empty pair")
+	}
+	if len(AllOps(2)) != 5 {
+		t.Fatal("AllOps wrong")
+	}
+}
+
+func TestTraceVerification(t *testing.T) {
+	c := NewComputation(1)
+	w := c.AddNode(W(0))
+	r := c.AddNode(R(0))
+	c.MustAddEdge(w, r)
+	phi := NewObserver(c)
+	phi.Set(0, r, w)
+	tr := TraceFromObserver(c, phi)
+	if _, ok := VerifySC(tr); !ok {
+		t.Fatal("trace must verify under SC")
+	}
+	if _, ok := VerifyLC(tr); !ok {
+		t.Fatal("trace must verify under LC")
+	}
+	tr.ReadVal[r] = Undefined
+	if _, ok := VerifySC(tr); ok {
+		t.Fatal("stale trace must fail")
+	}
+}
+
+func TestFacadeExtensionModels(t *testing.T) {
+	c := NewComputation(1)
+	w := c.AddNode(W(0))
+	n := c.AddNode(N)
+	c.MustAddEdge(w, n)
+	o := NewObserver(c)
+	if !Amnesiac.Contains(c, o) {
+		t.Fatal("amnesiac pair rejected by Amnesiac")
+	}
+	if LC.Contains(c, o) || GSLC.Contains(c, o) {
+		t.Fatal("the amnesiac pair must be outside LC and GSLC (⊥ past a write)")
+	}
+	empty := NewComputation(1)
+	if !GSLC.Contains(empty, NewObserver(empty)) {
+		t.Fatal("GSLC must contain the empty pair")
+	}
+}
+
+func TestFacadeOnlineMemory(t *testing.T) {
+	c := NewComputation(1)
+	w := c.AddNode(W(0))
+	r := c.AddNode(R(0))
+	c.MustAddEdge(w, r)
+	order, err := c.Dag().TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []OnlineMemory{NewSerialMemory(), NewUniversalMemory(LC)} {
+		o, err := RunMemory(m, c, order)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !LC.Contains(c, o) {
+			t.Fatalf("%s produced a non-LC pair", m.Name())
+		}
+	}
+}
+
+func TestFacadeCanExtend(t *testing.T) {
+	c := NewComputation(1)
+	c.AddNode(W(0))
+	o := NewObserver(c)
+	ext, _ := c.Extend(R(0), []Node{0})
+	if !CanExtend(SC, c, o, ext) {
+		t.Fatal("SC must extend the single-write pair")
+	}
+}
+
+func TestCustomPredicate(t *testing.T) {
+	// A predicate that only fires when w is a write ("NNW" in the
+	// paper's naming scheme, had it needed one): weaker than NN.
+	p := Predicate{
+		Name: "NNW",
+		Holds: func(c *Computation, l Loc, u, v, w Node) bool {
+			return c.Op(w).IsWriteTo(l)
+		},
+	}
+	m := QDag(p)
+	c := NewComputation(1)
+	o := NewObserver(c)
+	if !m.Contains(c, o) {
+		t.Fatal("custom model rejects empty pair")
+	}
+	if m.Name() != "NNW" {
+		t.Fatal("name lost")
+	}
+}

@@ -1,0 +1,162 @@
+// Command backersim runs the BACKER coherence algorithm of Cilk on a
+// simulated multiprocessor and verifies, post mortem, that every
+// execution is location consistent — the claim of [Luc97] that Section 7
+// of the paper builds on. It also regenerates the speedup-shape
+// experiment of [BFJ+96a/b]: T_P against the work/span bound
+// T_1/P + O(T_∞).
+//
+// Usage:
+//
+//	backersim [-trials N] [-nodes N] [-locs L] [-p P] [-seed S]
+//	          [-faults PROB] [-sweep] [-shape spawn|grid|layered]
+//
+// Examples:
+//
+//	backersim                     # 200 random executions, LC-verified
+//	backersim -faults 0.5         # inject protocol faults; count catches
+//	backersim -sweep -shape spawn # speedup curve over processor counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/backer"
+	"repro/internal/checker"
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func main() {
+	trials := flag.Int("trials", 200, "number of random executions")
+	nodes := flag.Int("nodes", 24, "computation size for random trials")
+	locs := flag.Int("locs", 2, "number of memory locations")
+	procs := flag.Int("p", 4, "processor count for random trials")
+	seed := flag.Int64("seed", 1, "random seed")
+	faults := flag.Float64("faults", 0, "probability of skipping each reconcile/flush")
+	sweep := flag.Bool("sweep", false, "run the speedup sweep instead of LC verification")
+	shape := flag.String("shape", "spawn", "dag shape for -sweep: spawn, grid, or layered")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	if *sweep {
+		runSweep(rng, *shape)
+		return
+	}
+	runVerification(rng, *trials, *nodes, *locs, *procs, *faults)
+}
+
+func runVerification(rng *rand.Rand, trials, nodes, locs, procs int, faultProb float64) {
+	lcOK, scOK, scUnknown, caught := 0, 0, 0, 0
+	var f *backer.Faults
+	if faultProb > 0 {
+		f = &backer.Faults{SkipReconcile: faultProb, SkipFlush: faultProb, Rng: rng}
+	}
+	for i := 0; i < trials; i++ {
+		c := randomMemComputation(rng, nodes, locs)
+		res := backer.RunWorkStealing(c, procs, rng, f)
+		if checker.VerifyLC(res.Trace).OK {
+			lcOK++
+		} else {
+			caught++
+		}
+		if checker.OrderExplains(res.Trace, res.Schedule.Order) {
+			scOK++
+		} else if r, exhaustive := checker.VerifySCBudget(res.Trace, 500000); r.OK {
+			scOK++
+		} else if !exhaustive {
+			scUnknown++
+		}
+	}
+	fmt.Printf("BACKER on %d-node computations, %d locations, P=%d, %d trials\n", nodes, locs, procs, trials)
+	if faultProb > 0 {
+		fmt.Printf("fault injection: %.0f%% of reconciles/flushes skipped\n", faultProb*100)
+	}
+	fmt.Printf("  location consistent: %d/%d\n", lcOK, trials)
+	fmt.Printf("  sequentially consistent: %d/%d (%d undecided within budget)\n", scOK, trials, scUnknown)
+	if faultProb > 0 {
+		fmt.Printf("  LC violations caught by the checker: %d\n", caught)
+	} else if lcOK != trials {
+		fmt.Println("ERROR: healthy BACKER must always be location consistent")
+		os.Exit(1)
+	}
+}
+
+func runSweep(rng *rand.Rand, shape string) {
+	c := shapeComputation(rng, shape)
+	t1 := sched.Work(c, nil)
+	tinf := sched.Span(c, nil)
+	fmt.Printf("speedup sweep on %s dag: %d nodes, T1=%d, T∞=%d, parallelism=%.1f\n",
+		shape, c.NumNodes(), t1, tinf, float64(t1)/float64(tinf))
+	fmt.Printf("%-4s %-10s %-10s %-10s %-8s %-8s %-8s\n",
+		"P", "T_P", "T1/P+T∞", "speedup", "steals", "flushes", "fetches")
+	var invP, tp []float64
+	for _, P := range []int{1, 2, 4, 8, 16, 32} {
+		const reps = 5
+		var makespans, steals, flushes, fetches []float64
+		for r := 0; r < reps; r++ {
+			s := sched.WorkStealing(c, P, nil, rng)
+			res := backer.Run(s, nil)
+			if !checker.VerifyLC(res.Trace).OK {
+				fmt.Println("ERROR: sweep execution violated LC")
+				os.Exit(1)
+			}
+			makespans = append(makespans, float64(s.Makespan))
+			steals = append(steals, float64(s.Steals))
+			flushes = append(flushes, float64(res.Stats.Flushes))
+			fetches = append(fetches, float64(res.Stats.Fetches))
+		}
+		m := stats.Summarize(makespans)
+		bound := float64(t1)/float64(P) + float64(tinf)
+		fmt.Printf("%-4d %-10.1f %-10.1f %-10.2f %-8.1f %-8.1f %-8.1f\n",
+			P, m.Mean, bound, float64(t1)/m.Mean,
+			stats.Summarize(steals).Mean,
+			stats.Summarize(flushes).Mean,
+			stats.Summarize(fetches).Mean)
+		invP = append(invP, 1/float64(P))
+		tp = append(tp, m.Mean)
+	}
+	slope, intercept, r2 := stats.LinearFit(invP, tp)
+	fmt.Printf("fit T_P ≈ %.1f/P + %.1f (R²=%.3f); compare T1=%d, T∞=%d\n",
+		slope, intercept, r2, t1, tinf)
+}
+
+func shapeComputation(rng *rand.Rand, shape string) *computation.Computation {
+	var g *dag.Dag
+	switch shape {
+	case "spawn":
+		g = dag.SpawnTree(9)
+	case "grid":
+		g = dag.Grid(24, 24)
+	case "layered":
+		g = dag.RandomLayered(rng, 40, 14, 0.25)
+	default:
+		fmt.Fprintf(os.Stderr, "backersim: unknown shape %q\n", shape)
+		os.Exit(2)
+	}
+	return labelRandom(rng, g, 2)
+}
+
+func labelRandom(rng *rand.Rand, g *dag.Dag, locs int) *computation.Computation {
+	ops := make([]computation.Op, g.NumNodes())
+	for i := range ops {
+		l := computation.Loc(rng.Intn(locs))
+		switch rng.Intn(4) {
+		case 0:
+			ops[i] = computation.W(l)
+		case 1:
+			ops[i] = computation.N
+		default:
+			ops[i] = computation.R(l)
+		}
+	}
+	return computation.MustFrom(g, ops, locs)
+}
+
+func randomMemComputation(rng *rand.Rand, n, locs int) *computation.Computation {
+	return labelRandom(rng, dag.Random(rng, n, 0.25), locs)
+}

@@ -1,0 +1,159 @@
+// Command ccmc is the computation-centric model checker: it reads a
+// (computation, observer function) pair from a file and reports which
+// memory models of the paper contain it.
+//
+// Usage:
+//
+//	ccmc [-model NAME] [-explain] FILE
+//	ccmc -demo
+//
+// The file format is the text format of internal/computation plus
+// `observe NODE LOC WRITER` lines:
+//
+//	locs x
+//	node A W(x)
+//	node B R(x)
+//	edge A B
+//	observe B x A
+//
+// With -demo, ccmc checks the paper's Figure 2 pair instead of a file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/expt"
+	"repro/internal/memmodel"
+	"repro/internal/observer"
+	"repro/internal/paperfig"
+	"repro/internal/viz"
+)
+
+func main() {
+	model := flag.String("model", "", "check only this model (SC, LC, NN, NW, WN, WW)")
+	explain := flag.Bool("explain", false, "print violation/witness details")
+	demo := flag.Bool("demo", false, "check the built-in Figure 2 pair instead of a file")
+	dot := flag.Bool("dot", false, "emit the pair as Graphviz DOT instead of checking")
+	flag.Parse()
+
+	var (
+		comp  *computation.Computation
+		obs   *observer.Observer
+		named *computation.Named
+	)
+	if *demo {
+		fx := paperfig.Figure2()
+		comp, obs = fx.Comp, fx.Obs
+		fmt.Println("checking the built-in Figure 2 pair:")
+		fmt.Printf("  %v\n  %v\n", comp, obs)
+	} else {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: ccmc [-model NAME] [-explain] FILE | ccmc -demo")
+			os.Exit(2)
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		named2, obs2, err := observer.ParsePair(f)
+		if err != nil {
+			fatal(err)
+		}
+		named, comp, obs = named2, named2.Comp, obs2
+	}
+
+	if *dot {
+		opts := viz.Options{Observer: obs, Title: "computation + observer"}
+		if named != nil {
+			opts.NodeNames = named.NodeName
+		}
+		if err := viz.WriteDOT(os.Stdout, comp, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	models := expt.Models()
+	if *model != "" {
+		m, ok := expt.ModelByName(*model)
+		if !ok {
+			fatal(fmt.Errorf("unknown model %q", *model))
+		}
+		models = []memmodel.Model{m}
+	}
+
+	anyOut := false
+	for _, m := range models {
+		in := m.Contains(comp, obs)
+		verdict := "OUT"
+		if in {
+			verdict = "IN"
+		} else {
+			anyOut = true
+		}
+		fmt.Printf("%-4s %s\n", m.Name(), verdict)
+		if !*explain {
+			continue
+		}
+		switch m.Name() {
+		case "SC":
+			if order, ok := memmodel.SCWitness(comp, obs); ok {
+				fmt.Printf("     witness sort: %s\n", renderOrder(named, order))
+			}
+		case "LC":
+			if sorts, ok := memmodel.LCWitness(comp, obs); ok {
+				for l, s := range sorts {
+					fmt.Printf("     witness sort for location %d: %s\n", l, renderOrder(named, s))
+				}
+			} else if e := memmodel.ExplainLC(comp, obs); e != nil {
+				fmt.Printf("     %s\n", e)
+			}
+		case "NN", "NW", "WN", "WW":
+			if in {
+				break
+			}
+			pred := map[string]memmodel.Predicate{
+				"NN": memmodel.PredNN, "NW": memmodel.PredNW,
+				"WN": memmodel.PredWN, "WW": memmodel.PredWW,
+			}[m.Name()]
+			if v := memmodel.ExplainQDag(pred, comp, obs); v != nil {
+				fmt.Printf("     violating triple at location %d: %s ≺ %s ≺ %s\n",
+					v.Loc, renderNode(named, v.U), renderNode(named, v.V), renderNode(named, v.W))
+			}
+		}
+	}
+	if anyOut && *model != "" {
+		os.Exit(1)
+	}
+}
+
+func renderNode(named *computation.Named, u dag.Node) string {
+	if u == observer.Bottom {
+		return "⊥"
+	}
+	if named != nil {
+		return named.NodeName[u]
+	}
+	return fmt.Sprintf("%d", u)
+}
+
+func renderOrder(named *computation.Named, order []dag.Node) string {
+	s := ""
+	for i, u := range order {
+		if i > 0 {
+			s += " "
+		}
+		s += renderNode(named, u)
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccmc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Command enumerate prints statistics about the exhaustive universes
+// the experiments quantify over: how many computations and observer
+// functions exist up to a size bound, and how the pair counts split
+// across the memory models.
+//
+// Usage:
+//
+//	enumerate [-n MAXNODES] [-locs L] [-persize]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/computation"
+	"repro/internal/enum"
+	"repro/internal/expt"
+	"repro/internal/observer"
+)
+
+func main() {
+	maxNodes := flag.Int("n", 4, "maximum computation size (nodes)")
+	locs := flag.Int("locs", 1, "number of memory locations")
+	perSize := flag.Bool("persize", false, "break counts down by computation size")
+	flag.Parse()
+
+	if *perSize {
+		fmt.Printf("%-6s %-14s %-14s %-12s\n", "size", "computations", "pairs", "max Φ/comp")
+		for n := 0; n <= *maxNodes; n++ {
+			comps, pairs, maxObs := 0, 0, 0
+			enum.EachComputation(n, *locs, func(c *computation.Computation) bool {
+				comps++
+				k := observer.Count(c, 0)
+				pairs += k
+				if k > maxObs {
+					maxObs = k
+				}
+				return true
+			})
+			fmt.Printf("%-6d %-14d %-14d %-12d\n", n, comps, pairs, maxObs)
+		}
+		return
+	}
+	fmt.Print(expt.MembershipCensus(*maxNodes, *locs))
+}

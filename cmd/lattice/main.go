@@ -1,0 +1,75 @@
+// Command lattice regenerates Figure 1 of the paper: it machine-checks
+// every claimed relation among SC, LC, NN, NW, WN and WW over the
+// exhaustive universe of small computations, and runs the
+// constructible-version fixpoint experiments of Section 6.
+//
+// Usage:
+//
+//	lattice [-n MAXNODES] [-locs L] [-census] [-star NN|WN|NW] [-props MODEL]
+//
+// Examples:
+//
+//	lattice -n 4              # full Figure 1 check (default)
+//	lattice -n 4 -star NN     # Theorem 23: NN* = LC on the interior
+//	lattice -n 4 -star WN     # Section 7 open problem probe
+//	lattice -n 3 -props NN    # completeness/monotonicity/constructibility
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	maxNodes := flag.Int("n", 4, "maximum computation size (nodes)")
+	locs := flag.Int("locs", 1, "number of memory locations")
+	census := flag.Bool("census", false, "print per-model membership counts")
+	star := flag.String("star", "", "run the constructible-version fixpoint for this base model")
+	props := flag.String("props", "", "check completeness/monotonicity/constructibility for this model")
+	findtrap := flag.String("findtrap", "", "search for the smallest non-constructibility witness of this model")
+	workers := flag.Int("workers", 0, "parallel sweep workers for the lattice check (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	switch {
+	case *findtrap != "":
+		m, ok := expt.ModelByName(*findtrap)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lattice: unknown model %q\n", *findtrap)
+			os.Exit(2)
+		}
+		trap, found := expt.FindTrap(m, *maxNodes, *locs)
+		if !found {
+			fmt.Printf("%s has no non-constructibility witness up to %d nodes, %d location(s)\n",
+				m.Name(), *maxNodes, *locs)
+			return
+		}
+		fmt.Printf("smallest %s trap (the Section 3 adversary wins here):\n", m.Name())
+		fmt.Printf("  %v\n  %v\n  stuck on augmentation by %s\n", trap.Pair.C, trap.Pair.O, trap.Op)
+	case *star != "":
+		m, ok := expt.ModelByName(*star)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lattice: unknown model %q\n", *star)
+			os.Exit(2)
+		}
+		rep := expt.RunStar(m, *maxNodes, *locs)
+		fmt.Print(rep)
+	case *props != "":
+		m, ok := expt.ModelByName(*props)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lattice: unknown model %q\n", *props)
+			os.Exit(2)
+		}
+		fmt.Print(expt.RunProperties(m, *maxNodes, *locs))
+	case *census:
+		fmt.Print(expt.MembershipCensus(*maxNodes, *locs))
+	default:
+		rep := expt.RunLatticeParallel(*maxNodes, *locs, *workers)
+		fmt.Print(rep)
+		if !rep.AllOK() {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package ccm_test
+
+import (
+	"fmt"
+
+	ccm "repro"
+)
+
+// The basic flow: build a computation, attach an observer function,
+// ask a model.
+func Example() {
+	c := ccm.NewComputation(1)
+	w := c.AddNode(ccm.W(0))
+	r := c.AddNode(ccm.R(0))
+	c.MustAddEdge(w, r)
+
+	phi := ccm.NewObserver(c)
+	phi.Set(0, r, w)
+
+	fmt.Println(ccm.SC.Contains(c, phi))
+	fmt.Println(ccm.LC.Contains(c, phi))
+	// Output:
+	// true
+	// true
+}
+
+// Dekker's outcome separates sequential consistency from location
+// consistency: with two locations, LC lets both branches miss each
+// other's writes.
+func ExampleModel_dekker() {
+	c := ccm.NewComputation(2)
+	w1 := c.AddNode(ccm.W(0))
+	r1 := c.AddNode(ccm.R(1))
+	w2 := c.AddNode(ccm.W(1))
+	r2 := c.AddNode(ccm.R(0))
+	c.MustAddEdge(w1, r1)
+	c.MustAddEdge(w2, r2)
+
+	phi := ccm.NewObserver(c) // both reads observe ⊥ at the other location
+	phi.Set(0, r1, w1)
+	phi.Set(1, r2, w2)
+
+	fmt.Println("SC:", ccm.SC.Contains(c, phi))
+	fmt.Println("LC:", ccm.LC.Contains(c, phi))
+	// Output:
+	// SC: false
+	// LC: true
+}
+
+// Post-mortem verification: decide whether observed values are
+// explainable, without knowing the observer function.
+func ExampleVerifySC() {
+	c := ccm.NewComputation(1)
+	w := c.AddNode(ccm.W(0))
+	r := c.AddNode(ccm.R(0))
+	c.MustAddEdge(w, r)
+
+	tr := ccm.NewTrace(c)
+	tr.WriteVal[w] = 42
+	tr.ReadVal[r] = 42
+	_, ok := ccm.VerifySC(tr)
+	fmt.Println("read 42:", ok)
+
+	tr.ReadVal[r] = ccm.Undefined // stale read past the write
+	_, ok = ccm.VerifySC(tr)
+	fmt.Println("read ⊥: ", ok)
+	// Output:
+	// read 42: true
+	// read ⊥:  false
+}
+
+// Custom Q-dag consistency models plug in as predicates (Definition 20).
+func ExampleQDag() {
+	// Require all three triple members to touch the location: a very
+	// weak model.
+	weak := ccm.QDag(ccm.Predicate{
+		Name: "TTT",
+		Holds: func(c *ccm.Computation, l ccm.Loc, u, v, w ccm.Node) bool {
+			return u != ccm.Bottom &&
+				c.Op(u).Touches(l) && c.Op(v).Touches(l) && c.Op(w).Touches(l)
+		},
+	})
+	c := ccm.NewComputation(1)
+	fmt.Println(weak.Name(), weak.Contains(c, ccm.NewObserver(c)))
+	// Output:
+	// TTT true
+}
+
+// The greedy online algorithm is total for constructible models: it
+// can answer node by node without ever getting stuck.
+func ExampleNewUniversalMemory() {
+	c := ccm.NewComputation(1)
+	w := c.AddNode(ccm.W(0))
+	r := c.AddNode(ccm.R(0))
+	c.MustAddEdge(w, r)
+
+	order, _ := c.Dag().TopoSort()
+	phi, err := ccm.RunMemory(ccm.NewUniversalMemory(ccm.LC), c, order)
+	fmt.Println(err, ccm.LC.Contains(c, phi))
+	// Output:
+	// <nil> true
+}

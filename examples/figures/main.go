@@ -1,0 +1,80 @@
+// Figures: machine-check Figures 2, 3 and 4 of the paper plus the
+// SC/LC separation of Section 4.
+//
+//   - Figure 2: a pair in WW and NW but not in WN or NN (the anomaly
+//     that motivated strengthening WW-dag consistency);
+//   - Figure 3: its mirror image, in WW and WN but not in NW or NN;
+//   - Figure 4: the prefix that proves NN is not constructible — its
+//     observer function is in NN but cannot be extended when a
+//     non-writing node is appended;
+//   - Dekker: the two-location computation showing SC ⊊ LC.
+//
+// Run with: go run ./examples/figures
+package main
+
+import (
+	"fmt"
+
+	ccm "repro"
+	"repro/internal/computation"
+	"repro/internal/memmodel"
+	"repro/internal/paperfig"
+)
+
+func main() {
+	for _, fx := range []paperfig.Fixture{
+		paperfig.Figure2(),
+		paperfig.Figure3(),
+		paperfig.Dekker(),
+	} {
+		fmt.Printf("%s\n  %v\n  %v\n", fx.Name, fx.Comp, fx.Obs)
+		checkMemberships(fx)
+		fmt.Println()
+	}
+	figure4()
+}
+
+func checkMemberships(fx paperfig.Fixture) {
+	for _, name := range fx.InModels {
+		m, _ := modelByName(name)
+		status := "FAIL"
+		if m.Contains(fx.Comp, fx.Obs) {
+			status = "ok"
+		}
+		fmt.Printf("  in  %-3s %s\n", name, status)
+	}
+	for _, name := range fx.OutModels {
+		m, _ := modelByName(name)
+		status := "FAIL"
+		if !m.Contains(fx.Comp, fx.Obs) {
+			status = "ok"
+		}
+		fmt.Printf("  out %-3s %s\n", name, status)
+	}
+}
+
+func figure4() {
+	fx := paperfig.Figure4()
+	fmt.Println("Figure4 (NN is not constructible)")
+	fmt.Printf("  prefix: %v\n  Φ:      %v\n", fx.Prefix, fx.PrefixObs)
+	fmt.Printf("  prefix pair in NN: %v (expected true)\n", ccm.NN.Contains(fx.Prefix, fx.PrefixObs))
+	fmt.Printf("  prefix pair in LC: %v (expected false — LC ⊊ NN needs this witness)\n",
+		ccm.LC.Contains(fx.Prefix, fx.PrefixObs))
+
+	ops := []computation.Op{computation.N, computation.R(0), computation.W(0)}
+	for _, op := range ops {
+		ext, _ := fx.Extend(op)
+		ok := memmodel.CanExtend(memmodel.NN, fx.Prefix, fx.PrefixObs, ext)
+		fmt.Printf("  extend by final %-5s: extension exists = %v\n", op, ok)
+	}
+	fmt.Println("  => Φ extends only when the new node writes: NN is not constructible.")
+}
+
+func modelByName(name string) (ccm.Model, bool) {
+	for _, m := range []ccm.Model{ccm.SC, ccm.LC, ccm.NN, ccm.NW, ccm.WN, ccm.WW} {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}

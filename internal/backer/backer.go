@@ -1,0 +1,207 @@
+// Package backer simulates the BACKER coherence algorithm of Blumofe et
+// al. [BFJ+96a/b] — the algorithm used by Cilk's distributed shared
+// memory — on the simulated multiprocessor of internal/sched.
+//
+// BACKER keeps one backing store ("main memory") plus a cache per
+// processor. Caches hold possibly incoherent copies of locations; three
+// primitive operations maintain dag consistency:
+//
+//   - fetch: copy a location from main memory into the cache;
+//   - reconcile: write a dirty cached value back to main memory;
+//   - flush: reconcile, then drop every cached line.
+//
+// Whenever a dependency edge crosses processors (in Cilk: at steals and
+// syncs), the source processor's cache is reconciled before the edge
+// and the target processor's cache is flushed after it. Luchangco
+// [Luc97] proves the resulting memory is location consistent, which
+// makes the analysis and experiments of [BFJ+96a/b] carry over to LC
+// (Section 7 of the paper). The tests and benches machine-check the LC
+// claim with the post-mortem checker, and the fault-injection mode
+// shows the checker catching real coherence bugs.
+package backer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Faults configures deliberate protocol violations for the
+// fault-injection experiments. Probabilities are per opportunity.
+type Faults struct {
+	SkipReconcile float64 // chance to skip a reconcile before a crossing edge
+	SkipFlush     float64 // chance to skip the flush after a crossing edge
+	Rng           *rand.Rand
+}
+
+func (f *Faults) skip(p float64) bool {
+	return f != nil && f.Rng != nil && p > 0 && f.Rng.Float64() < p
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Fetches    int
+	Hits       int
+	Reconciles int // whole-cache reconciles triggered by crossing edges
+	Flushes    int
+	Writes     int
+	CrossEdges int
+}
+
+// Result is one simulated BACKER execution: the trace it produced (with
+// unique write values), the partial observer recording which write each
+// read saw, and protocol statistics.
+type Result struct {
+	Schedule *sched.Schedule
+	Trace    *trace.Trace
+	// ReadObserved[u] is the write node each read u observed (Bottom if
+	// it read uninitialized memory); dag.None... Bottom doubles as the
+	// "no write" value, matching the observer convention.
+	ReadObserved map[dag.Node]dag.Node
+	Stats        Stats
+}
+
+type line struct {
+	writer dag.Node // the write whose value this copy holds; Bottom = initial
+	dirty  bool
+}
+
+type memory struct {
+	main   []dag.Node // per location: writer whose value main holds
+	caches []map[computation.Loc]line
+	stats  *Stats
+}
+
+func newMemory(numLocs, P int, stats *Stats) *memory {
+	m := &memory{
+		main:   make([]dag.Node, numLocs),
+		caches: make([]map[computation.Loc]line, P),
+		stats:  stats,
+	}
+	for l := range m.main {
+		m.main[l] = observer.Bottom
+	}
+	for p := range m.caches {
+		m.caches[p] = make(map[computation.Loc]line)
+	}
+	return m
+}
+
+// reconcile writes every dirty line of processor p back to main memory
+// and marks the lines clean.
+func (m *memory) reconcile(p int) {
+	m.stats.Reconciles++
+	for l, ln := range m.caches[p] {
+		if ln.dirty {
+			m.main[l] = ln.writer
+			m.caches[p][l] = line{writer: ln.writer}
+		}
+	}
+}
+
+// flush reconciles and then empties processor p's cache.
+func (m *memory) flush(p int) {
+	m.stats.Flushes++
+	for l, ln := range m.caches[p] {
+		if ln.dirty {
+			m.main[l] = ln.writer
+		}
+		delete(m.caches[p], l)
+	}
+}
+
+// read returns the write observed by a read of location l on processor
+// p, fetching from main memory on a miss.
+func (m *memory) read(p int, l computation.Loc) dag.Node {
+	if ln, ok := m.caches[p][l]; ok {
+		m.stats.Hits++
+		return ln.writer
+	}
+	m.stats.Fetches++
+	w := m.main[l]
+	m.caches[p][l] = line{writer: w}
+	return w
+}
+
+// write installs node u's write to location l in processor p's cache.
+func (m *memory) write(p int, l computation.Loc, u dag.Node) {
+	m.stats.Writes++
+	m.caches[p][l] = line{writer: u, dirty: true}
+}
+
+// Run executes the computation according to the schedule under the
+// BACKER protocol and returns the produced trace. faults may be nil.
+func Run(s *sched.Schedule, faults *Faults) *Result {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("backer: invalid schedule: %v", err))
+	}
+	c := s.Comp
+	res := &Result{
+		Schedule:     s,
+		ReadObserved: make(map[dag.Node]dag.Node),
+	}
+	mem := newMemory(c.NumLocs(), s.P, &res.Stats)
+	tr := trace.New(c).UniqueWrites()
+
+	executed := make(map[dag.Node]bool)
+	for _, u := range s.Order {
+		p := s.Proc[u]
+		// Crossing edges: every predecessor on another processor forces
+		// a reconcile of that processor's cache and a flush of ours.
+		crossed := false
+		for _, v := range c.Dag().Preds(u) {
+			if !executed[v] {
+				panic("backer: schedule order violates dependencies")
+			}
+			if s.Proc[v] != p {
+				res.Stats.CrossEdges++
+				if !faults.skip(faultProb(faults, true)) {
+					mem.reconcile(s.Proc[v])
+				}
+				crossed = true
+			}
+		}
+		if crossed && !faults.skip(faultProb(faults, false)) {
+			mem.flush(p)
+		}
+
+		op := c.Op(u)
+		switch op.Kind {
+		case computation.Read:
+			w := mem.read(p, op.Loc)
+			res.ReadObserved[u] = w
+			if w == observer.Bottom {
+				tr.ReadVal[u] = trace.Undefined
+			} else {
+				tr.ReadVal[u] = tr.WriteVal[w]
+			}
+		case computation.Write:
+			mem.write(p, op.Loc, u)
+		}
+		executed[u] = true
+	}
+	res.Trace = tr
+	return res
+}
+
+func faultProb(f *Faults, reconcile bool) float64 {
+	if f == nil {
+		return 0
+	}
+	if reconcile {
+		return f.SkipReconcile
+	}
+	return f.SkipFlush
+}
+
+// RunWorkStealing is a convenience wrapper: schedule the computation
+// with randomized work stealing on P processors and run BACKER over it.
+func RunWorkStealing(c *computation.Computation, P int, rng *rand.Rand, faults *Faults) *Result {
+	s := sched.WorkStealing(c, P, nil, rng)
+	return Run(s, faults)
+}

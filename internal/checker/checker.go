@@ -1,0 +1,393 @@
+// Package checker implements post-mortem verification: given an
+// executed trace (computation + values), decide whether some observer
+// function in a memory model explains it. This is the computation-
+// centric analogue of Gibbons & Korach's after-the-fact sequential-
+// consistency verification ([GK94], cited in Sections 1 and 7).
+//
+// For the serialization-based models the checker does not enumerate
+// observer functions: it runs the same pruned backtracking as the
+// model deciders, but constrained only at read nodes (whose candidate
+// writer sets come from value equality), which scales to traces far
+// beyond the exhaustive-enumeration experiments.
+package checker
+
+import (
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/memmodel"
+	"repro/internal/observer"
+	"repro/internal/trace"
+)
+
+// Result reports a verification outcome with a witness when positive.
+type Result struct {
+	OK bool
+	// Observer is a full observer function explaining the trace, when
+	// the checker constructs one (VerifyModel does; the serialization
+	// checkers reconstruct it from their witness sorts).
+	Observer *observer.Observer
+}
+
+// constraints[l][u] is the allowed writer set for node u at location l,
+// or nil when unconstrained. allowBottom is tracked via presence of
+// observer.Bottom in the slice.
+type constraints [][][]dag.Node
+
+func buildConstraints(t *trace.Trace) (constraints, bool) {
+	c := t.Comp
+	cons := make(constraints, c.NumLocs())
+	for l := range cons {
+		cons[l] = make([][]dag.Node, c.NumNodes())
+	}
+	for u := 0; u < c.NumNodes(); u++ {
+		op := c.Op(dag.Node(u))
+		if op.Kind != computation.Read {
+			continue
+		}
+		cands := t.Candidates(dag.Node(u))
+		if len(cands) == 0 {
+			return nil, false
+		}
+		cons[op.Loc][u] = cands
+	}
+	return cons, true
+}
+
+func allowed(cons constraints, l computation.Loc, u, w dag.Node) bool {
+	set := cons[l][u]
+	if set == nil {
+		return true
+	}
+	for _, x := range set {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// searchConstrained looks for a topological sort T of the trace's
+// computation such that, for every location l in locs and every node u
+// with a constraint, W_T(l, u) lies in the allowed set. It returns the
+// witnessing sort. budget, when positive, caps the number of search
+// states explored; on exhaustion the third result is false.
+func searchConstrained(t *trace.Trace, cons constraints, locs []computation.Loc, budget int) ([]dag.Node, bool, bool) {
+	c := t.Comp
+	n := c.NumNodes()
+	if n == 0 {
+		return []dag.Node{}, true, true
+	}
+	g := c.Dag()
+	indeg := make([]int, n)
+	for u := 0; u < n; u++ {
+		indeg[u] = g.InDegree(dag.Node(u))
+	}
+	last := make([]dag.Node, len(locs))
+	for i := range last {
+		last[i] = observer.Bottom
+	}
+	placed := make([]bool, n)
+	failed := make(map[string]struct{})
+	order := make([]dag.Node, 0, n)
+
+	keyBuf := make([]byte, 0, n/8+1+2*len(locs))
+	stateKey := func() string {
+		keyBuf = keyBuf[:0]
+		var acc byte
+		for u := 0; u < n; u++ {
+			acc = acc << 1
+			if placed[u] {
+				acc |= 1
+			}
+			if u%8 == 7 {
+				keyBuf = append(keyBuf, acc)
+				acc = 0
+			}
+		}
+		keyBuf = append(keyBuf, acc)
+		for _, w := range last {
+			keyBuf = append(keyBuf, byte(w), byte(int32(w)>>8))
+		}
+		return string(keyBuf)
+	}
+
+	states := 0
+	exhausted := true
+
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		states++
+		if budget > 0 && states > budget {
+			exhausted = false
+			return false
+		}
+		key := stateKey()
+		if _, bad := failed[key]; bad {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if placed[u] || indeg[u] != 0 {
+				continue
+			}
+			node := dag.Node(u)
+			ok := true
+			for i, l := range locs {
+				have := last[i]
+				if c.Op(node).IsWriteTo(l) {
+					have = node
+				}
+				if !allowed(cons, l, node, have) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			placed[u] = true
+			order = append(order, node)
+			var saved []dag.Node
+			for i, l := range locs {
+				if c.Op(node).IsWriteTo(l) {
+					saved = append(saved, dag.Node(i), last[i])
+					last[i] = node
+				}
+			}
+			for _, v := range g.Succs(node) {
+				indeg[v]--
+			}
+			if rec(remaining - 1) {
+				return true
+			}
+			for _, v := range g.Succs(node) {
+				indeg[v]++
+			}
+			for i := 0; i < len(saved); i += 2 {
+				last[saved[i]] = saved[i+1]
+			}
+			order = order[:len(order)-1]
+			placed[u] = false
+		}
+		if exhausted {
+			failed[key] = struct{}{}
+		}
+		return false
+	}
+	if rec(n) {
+		return order, true, true
+	}
+	return nil, false, exhausted
+}
+
+// VerifySC decides whether the trace is explainable under sequential
+// consistency: some single topological sort's last-writer semantics
+// produce exactly the observed read values. On success the witness
+// observer is the last-writer observer of the sort. The decision is
+// exact but worst-case exponential (the problem is NP-complete [GK94]);
+// use VerifySCBudget on large traces.
+func VerifySC(t *trace.Trace) Result {
+	res, _ := VerifySCBudget(t, 0)
+	return res
+}
+
+// VerifySCBudget is VerifySC with a cap on explored search states
+// (0 = unlimited). The second result reports whether the search was
+// exhaustive: if false, the trace may or may not be SC. Per-location
+// serializability (a relaxation of SC) is checked first, so many
+// non-SC traces are rejected exactly even under a budget.
+func VerifySCBudget(t *trace.Trace, budget int) (Result, bool) {
+	if err := t.Validate(); err != nil {
+		return Result{}, true
+	}
+	cons, ok := buildConstraints(t)
+	if !ok {
+		return Result{}, true
+	}
+	// Necessary condition, checked in polynomial time: every location
+	// must be independently serializable.
+	for l := computation.Loc(0); int(l) < t.Comp.NumLocs(); l++ {
+		if _, ok := serializeLocChoices(t.Comp, l, cons[l]); !ok {
+			return Result{}, true
+		}
+	}
+	locs := make([]computation.Loc, t.Comp.NumLocs())
+	for l := range locs {
+		locs[l] = computation.Loc(l)
+	}
+	order, ok, exhausted := searchConstrained(t, cons, locs, budget)
+	if !ok {
+		return Result{}, exhausted
+	}
+	return Result{OK: true, Observer: observer.FromLastWriter(t.Comp, order)}, true
+}
+
+// OrderExplains reports whether a specific topological sort's
+// last-writer semantics reproduce every read value of the trace — a
+// constant witness check useful when the executing system can supply
+// its own serialization candidate (e.g. a schedule's completion order).
+func OrderExplains(t *trace.Trace, order []dag.Node) bool {
+	if err := t.Validate(); err != nil || !t.Comp.Dag().IsTopoSort(order) {
+		return false
+	}
+	for l := computation.Loc(0); int(l) < t.Comp.NumLocs(); l++ {
+		row := observer.LastWriterForLoc(t.Comp, order, l)
+		for u := 0; u < t.Comp.NumNodes(); u++ {
+			if !t.Comp.Op(dag.Node(u)).IsReadOf(l) {
+				continue
+			}
+			var v trace.Value
+			if row[u] == observer.Bottom {
+				v = trace.Undefined
+			} else {
+				v = t.WriteVal[row[u]]
+			}
+			if v != t.ReadVal[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// VerifyLC decides whether the trace is explainable under location
+// consistency: each location independently admits a serialization
+// matching the observed values. On success the witness observer is
+// assembled from the per-location sorts.
+//
+// When every read's candidate set is a singleton (always the case for
+// traces with unique write values), each location is decided by the
+// polynomial SerializeLoc reduction; ambiguous reads are resolved by
+// backtracking over their candidates, each choice checked
+// polynomially.
+func VerifyLC(t *trace.Trace) Result {
+	if err := t.Validate(); err != nil {
+		return Result{}
+	}
+	cons, ok := buildConstraints(t)
+	if !ok {
+		return Result{}
+	}
+	sorts := make([][]dag.Node, t.Comp.NumLocs())
+	for l := computation.Loc(0); int(l) < t.Comp.NumLocs(); l++ {
+		order, ok := serializeLocChoices(t.Comp, l, cons[l])
+		if !ok {
+			return Result{}
+		}
+		sorts[l] = order
+	}
+	if t.Comp.NumLocs() == 0 {
+		return Result{OK: true, Observer: observer.New(t.Comp)}
+	}
+	return Result{OK: true, Observer: observer.FromPerLocationSorts(t.Comp, sorts)}
+}
+
+// serializeLocChoices finds a serialization of location l compatible
+// with per-node candidate sets (nil = unconstrained), backtracking over
+// nodes that have more than one candidate.
+func serializeLocChoices(c *computation.Computation, l computation.Loc, cands [][]dag.Node) ([]dag.Node, bool) {
+	var ambiguous []dag.Node
+	choice := make(map[dag.Node]dag.Node)
+	for u := 0; u < c.NumNodes(); u++ {
+		switch len(cands[u]) {
+		case 0: // unconstrained
+		case 1:
+			choice[dag.Node(u)] = cands[u][0]
+		default:
+			ambiguous = append(ambiguous, dag.Node(u))
+		}
+	}
+	req := func(u dag.Node) (dag.Node, bool) {
+		w, ok := choice[u]
+		return w, ok
+	}
+	var rec func(i int) ([]dag.Node, bool)
+	rec = func(i int) ([]dag.Node, bool) {
+		if i == len(ambiguous) {
+			return memmodel.SerializeLoc(c, l, req)
+		}
+		u := ambiguous[i]
+		for _, w := range cands[u] {
+			choice[u] = w
+			if order, ok := rec(i + 1); ok {
+				return order, true
+			}
+		}
+		delete(choice, u)
+		return nil, false
+	}
+	return rec(0)
+}
+
+// VerifyModel decides explainability under an arbitrary model by
+// enumerating observer functions compatible with the trace (reads are
+// pinned to their value-derived candidates; all other entries range
+// over the full candidate sets). Exponential in the number of
+// unconstrained entries — intended for the dag-consistent models on
+// moderate computations. maxTries caps the enumeration (0 = unlimited);
+// if the cap is hit without success, the second result is false.
+func VerifyModel(m memmodel.Model, t *trace.Trace, maxTries int) (Result, bool) {
+	if err := t.Validate(); err != nil {
+		return Result{}, true
+	}
+	c := t.Comp
+	cands := observer.Candidates(c)
+	cons, ok := buildConstraints(t)
+	if !ok {
+		return Result{}, true
+	}
+	// Intersect read rows with trace candidates.
+	for l := range cands {
+		for u := range cands[l] {
+			if cons[l][u] == nil {
+				continue
+			}
+			var narrowed []dag.Node
+			for _, v := range cands[l][u] {
+				if allowed(cons, computation.Loc(l), dag.Node(u), v) {
+					narrowed = append(narrowed, v)
+				}
+			}
+			cands[l][u] = narrowed
+		}
+	}
+
+	o := observer.New(c)
+	n := c.NumNodes()
+	total := c.NumLocs() * n
+	tried := 0
+	exhausted := true
+	var found *observer.Observer
+
+	var rec func(slot int) bool
+	rec = func(slot int) bool {
+		if slot == total {
+			tried++
+			if m.Contains(c, o) {
+				found = o.Clone()
+				return true
+			}
+			if maxTries > 0 && tried >= maxTries {
+				exhausted = false
+				return true // stop, capped
+			}
+			return false
+		}
+		l := computation.Loc(slot / n)
+		u := dag.Node(slot % n)
+		for _, v := range cands[l][u] {
+			o.Set(l, u, v)
+			if rec(slot + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+	if found != nil {
+		return Result{OK: true, Observer: found}, true
+	}
+	return Result{}, exhausted
+}

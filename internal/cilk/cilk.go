@@ -1,0 +1,228 @@
+// Package cilk is a miniature fork/join front-end in the style of the
+// multithreaded language that motivated the paper (Section 1): programs
+// spawn child strands, sync on them, and access shared memory, and the
+// way a program unfolds in an execution is a computation — exactly the
+// object the paper takes as given.
+//
+// The package closes the loop the paper's introduction draws: a
+// divide-and-conquer program is built with Spawn/Sync, unfolds into a
+// computation, executes on the simulated BACKER multiprocessor of
+// internal/backer, and — because BACKER maintains location consistency
+// and the program writes each cell once before syncing on it — computes
+// the right answer. Breaking the coherence protocol (fault injection)
+// breaks the program, observably.
+package cilk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/backer"
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Compute produces the value a write stores, given access to the
+// values returned by reads that precede it in its strand.
+type Compute func(env *Env) trace.Value
+
+// Const returns a Compute that stores a fixed value.
+func Const(v trace.Value) Compute {
+	return func(*Env) trace.Value { return v }
+}
+
+// Env exposes read results to a write's Compute function during
+// evaluation.
+type Env struct {
+	readVal map[dag.Node]trace.Value
+}
+
+// Value returns the value read by node r, which must be a read that
+// executed before the current write.
+func (e *Env) Value(r dag.Node) trace.Value {
+	v, ok := e.readVal[r]
+	if !ok {
+		panic(fmt.Sprintf("cilk: node %d has not read yet (reads must precede the write in its strand)", r))
+	}
+	return v
+}
+
+// Program is a fork/join program unfolded into a computation.
+type Program struct {
+	comp    *computation.Computation
+	compute map[dag.Node]Compute
+}
+
+// New builds a program by running the body on the root thread. The
+// body allocates locations with Thread.AllocLoc (or callers pass
+// numLocs > 0 for a fixed set).
+func New(numLocs int, body func(t *Thread)) *Program {
+	p := &Program{
+		comp:    computation.New(numLocs),
+		compute: make(map[dag.Node]Compute),
+	}
+	root := &Thread{p: p, cur: dag.None}
+	body(root)
+	return p
+}
+
+// Computation returns the unfolded computation.
+func (p *Program) Computation() *computation.Computation { return p.comp }
+
+// Thread is one serial strand of the program. Its operations append
+// nodes chained in program order; Spawn starts a child strand and Sync
+// joins all outstanding children.
+type Thread struct {
+	p        *Program
+	cur      dag.Node   // last node of this strand (None before the first)
+	children []dag.Node // last nodes of unsynced child strands
+}
+
+// append adds a node chained after the strand's current node.
+func (t *Thread) append(op computation.Op) dag.Node {
+	u := t.p.comp.AddNode(op)
+	if t.cur != dag.None {
+		t.p.comp.MustAddEdge(t.cur, u)
+	}
+	t.cur = u
+	return u
+}
+
+// AllocLoc allocates a fresh shared-memory location.
+func (t *Thread) AllocLoc() computation.Loc { return t.p.comp.AddLoc() }
+
+// Noop appends a node that does not access memory.
+func (t *Thread) Noop() dag.Node { return t.append(computation.N) }
+
+// Read appends a read of location l and returns its node, usable as a
+// handle in later writes' Compute functions.
+func (t *Thread) Read(l computation.Loc) dag.Node {
+	return t.append(computation.R(l))
+}
+
+// Write appends a write of location l whose stored value is produced
+// by fn at execution time.
+func (t *Thread) Write(l computation.Loc, fn Compute) dag.Node {
+	u := t.append(computation.W(l))
+	t.p.compute[u] = fn
+	return u
+}
+
+// Spawn starts a child strand running body. The child's first node
+// depends on the spawn point; the parent continues independently until
+// Sync.
+func (t *Thread) Spawn(body func(child *Thread)) {
+	child := &Thread{p: t.p, cur: dag.None}
+	// The child's first node must depend on the spawn point. Insert an
+	// explicit no-op anchor when the child would otherwise be empty or
+	// when the parent has no node yet.
+	if t.cur == dag.None {
+		t.Noop()
+	}
+	anchor := t.cur
+	child.cur = dag.None
+	body(child)
+	if child.cur == dag.None {
+		// Empty child: nothing to join.
+		return
+	}
+	// Wire the spawn edge to the child's first node: the child recorded
+	// only its last node, so walk is unnecessary — instead re-thread:
+	// the child's first node is found by following preds... simpler: we
+	// added no edge yet, so the child's strand is a chain whose head has
+	// no predecessors among the strand; connect anchor -> head.
+	head := child.firstOf()
+	t.p.comp.MustAddEdge(anchor, head)
+	t.children = append(t.children, child.cur)
+	// Any unsynced grandchildren become our responsibility (fully
+	// strict joining would attach them to the child's sync; a child
+	// that never synced passes them up, as Cilk's implicit sync does).
+	t.children = append(t.children, child.children...)
+}
+
+// firstOf returns the head of the strand ending at t.cur by walking
+// predecessors that belong to the same chain. Strand nodes are chained
+// in creation order, so the head is the chain node with no
+// within-strand predecessor; we track it directly instead.
+func (t *Thread) firstOf() dag.Node {
+	// Walk back along the unique chain of strand edges. A strand node's
+	// first edge is always from its strand predecessor (appended before
+	// any spawn/join edges), so follow the minimum-id predecessor chain
+	// while it stays within a straight line.
+	u := t.cur
+	for {
+		preds := t.p.comp.Dag().Preds(u)
+		if len(preds) == 0 {
+			return u
+		}
+		// The strand predecessor was wired at append time, before any
+		// spawn/sync edges, so it is always preds[0].
+		u = preds[0]
+	}
+}
+
+// Sync appends a join node depending on the strand's current node and
+// on every outstanding child's last node, and returns it.
+func (t *Thread) Sync() dag.Node {
+	if t.cur == dag.None {
+		t.Noop()
+	}
+	join := t.p.comp.AddNode(computation.N)
+	t.p.comp.MustAddEdge(t.cur, join)
+	for _, c := range t.children {
+		t.p.comp.MustAddEdge(c, join)
+	}
+	t.children = nil
+	t.cur = join
+	return join
+}
+
+// Result is one execution of a program on the simulated machine.
+type Result struct {
+	Schedule *sched.Schedule
+	Backer   *backer.Result
+	// ReadVal and WriteVal are the evaluated values (program semantics,
+	// not the unique-write identities of the raw trace).
+	ReadVal  map[dag.Node]trace.Value
+	WriteVal map[dag.Node]trace.Value
+}
+
+// Execute runs the program on P processors under randomized work
+// stealing and the BACKER protocol (with optional fault injection),
+// then evaluates the program's value semantics over the observed
+// observer function: a read returns the evaluated value of the write
+// it observed (Undefined for ⊥), and each write's Compute runs with
+// its strand's read results.
+func Execute(p *Program, P int, rng *rand.Rand, faults *backer.Faults) *Result {
+	s := sched.WorkStealing(p.comp, P, nil, rng)
+	bres := backer.Run(s, faults)
+	res := &Result{
+		Schedule: s,
+		Backer:   bres,
+		ReadVal:  make(map[dag.Node]trace.Value),
+		WriteVal: make(map[dag.Node]trace.Value),
+	}
+	env := &Env{readVal: res.ReadVal}
+	for _, u := range s.Order {
+		op := p.comp.Op(u)
+		switch op.Kind {
+		case computation.Read:
+			w := bres.ReadObserved[u]
+			if w == observer.Bottom {
+				res.ReadVal[u] = trace.Undefined
+			} else {
+				res.ReadVal[u] = res.WriteVal[w]
+			}
+		case computation.Write:
+			fn := p.compute[u]
+			if fn == nil {
+				fn = Const(0)
+			}
+			res.WriteVal[u] = fn(env)
+		}
+	}
+	return res
+}

@@ -1,0 +1,208 @@
+package computation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// This file implements a small line-oriented text format for
+// computations (and, via the observer package, observer functions), so
+// the cmd/ tools can exchange the paper's objects as files:
+//
+//	# Figure 2 of the paper
+//	locs x
+//	node A W(x)
+//	node B W(x)
+//	node C R(x)
+//	node D R(x)
+//	edge A B
+//	edge B C
+//	edge C D
+//
+// Node and location names are arbitrary identifiers; ops are N, R(loc),
+// or W(loc). Nodes are numbered in order of declaration; locations in
+// order of appearance on the locs line.
+
+// Named is a Computation together with the symbol tables used by the
+// text format.
+type Named struct {
+	Comp     *Computation
+	NodeName []string // node id -> name
+	NodeID   map[string]dag.Node
+	LocName  []string // loc id -> name
+	LocID    map[string]Loc
+}
+
+// NewNamed returns an empty named computation with the given location
+// names (which fix NumLocs).
+func NewNamed(locNames ...string) *Named {
+	n := &Named{
+		Comp:    New(len(locNames)),
+		NodeID:  make(map[string]dag.Node),
+		LocID:   make(map[string]Loc),
+		LocName: append([]string(nil), locNames...),
+	}
+	for i, name := range locNames {
+		if _, dup := n.LocID[name]; dup {
+			panic(fmt.Sprintf("computation: duplicate location name %q", name))
+		}
+		n.LocID[name] = Loc(i)
+	}
+	return n
+}
+
+// AddNode appends a named node.
+func (n *Named) AddNode(name string, op Op) dag.Node {
+	if _, dup := n.NodeID[name]; dup {
+		panic(fmt.Sprintf("computation: duplicate node name %q", name))
+	}
+	u := n.Comp.AddNode(op)
+	n.NodeName = append(n.NodeName, name)
+	n.NodeID[name] = u
+	return u
+}
+
+// AddEdge inserts an edge between named nodes.
+func (n *Named) AddEdge(from, to string) error {
+	u, ok := n.NodeID[from]
+	if !ok {
+		return fmt.Errorf("computation: unknown node %q", from)
+	}
+	v, ok := n.NodeID[to]
+	if !ok {
+		return fmt.Errorf("computation: unknown node %q", to)
+	}
+	return n.Comp.AddEdge(u, v)
+}
+
+// parseOp parses "N", "R(name)" or "W(name)" against the location table.
+func (n *Named) parseOp(s string) (Op, error) {
+	if s == "N" {
+		return N, nil
+	}
+	if len(s) < 4 || s[len(s)-1] != ')' || s[1] != '(' {
+		return Op{}, fmt.Errorf("computation: malformed op %q", s)
+	}
+	locName := s[2 : len(s)-1]
+	l, ok := n.LocID[locName]
+	if !ok {
+		return Op{}, fmt.Errorf("computation: unknown location %q", locName)
+	}
+	switch s[0] {
+	case 'R':
+		return R(l), nil
+	case 'W':
+		return W(l), nil
+	default:
+		return Op{}, fmt.Errorf("computation: unknown op kind %q", s[0])
+	}
+}
+
+// Parse reads the text format from r.
+func Parse(r io.Reader) (*Named, error) {
+	sc := bufio.NewScanner(r)
+	var named *Named
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "locs":
+			if named != nil {
+				return nil, fmt.Errorf("line %d: duplicate locs directive", lineNo)
+			}
+			named = NewNamed(fields[1:]...)
+		case "node":
+			if named == nil {
+				named = NewNamed()
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: want `node NAME OP`", lineNo)
+			}
+			if _, dup := named.NodeID[fields[1]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate node %q", lineNo, fields[1])
+			}
+			op, err := named.parseOp(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			named.AddNode(fields[1], op)
+		case "edge":
+			if named == nil || len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: want `edge FROM TO`", lineNo)
+			}
+			if err := named.AddEdge(fields[1], fields[2]); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if named == nil {
+		named = NewNamed()
+	}
+	if err := named.Comp.Validate(); err != nil {
+		return nil, err
+	}
+	return named, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Named, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Format writes the computation in the text format accepted by Parse.
+func (n *Named) Format(w io.Writer) error {
+	if len(n.LocName) > 0 {
+		if _, err := fmt.Fprintf(w, "locs %s\n", strings.Join(n.LocName, " ")); err != nil {
+			return err
+		}
+	}
+	for u, name := range n.NodeName {
+		op := n.Comp.Op(dag.Node(u))
+		var opStr string
+		if op.Kind == Noop {
+			opStr = "N"
+		} else {
+			opStr = fmt.Sprintf("%s(%s)", op.Kind, n.LocName[op.Loc])
+		}
+		if _, err := fmt.Fprintf(w, "node %s %s\n", name, opStr); err != nil {
+			return err
+		}
+	}
+	edges := n.Comp.Dag().Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(w, "edge %s %s\n", n.NodeName[e[0]], n.NodeName[e[1]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatString renders the computation via Format.
+func (n *Named) FormatString() string {
+	var b strings.Builder
+	if err := n.Format(&b); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return b.String()
+}

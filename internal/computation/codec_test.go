@@ -1,0 +1,177 @@
+package computation
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const fig2Text = `# Figure 2-like computation
+locs x
+node A W(x)
+node B W(x)
+node C R(x)
+node D R(x)
+edge A B
+edge B C
+edge C D
+`
+
+func TestParseBasic(t *testing.T) {
+	n, err := ParseString(fig2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Comp
+	if c.NumNodes() != 4 || c.NumLocs() != 1 {
+		t.Fatalf("parsed %d nodes %d locs", c.NumNodes(), c.NumLocs())
+	}
+	if c.Op(0) != W(0) || c.Op(2) != R(0) {
+		t.Fatal("ops wrong")
+	}
+	if !c.Dag().HasEdge(0, 1) || !c.Dag().HasEdge(1, 2) || !c.Dag().HasEdge(2, 3) {
+		t.Fatal("edges wrong")
+	}
+	if n.NodeName[0] != "A" || n.LocName[0] != "x" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestParseNoop(t *testing.T) {
+	n, err := ParseString("node A N\nnode B N\nedge A B\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Comp.NumLocs() != 0 || n.Comp.Op(0) != N {
+		t.Fatal("noop-only computation wrong")
+	}
+}
+
+func TestParseMultiLoc(t *testing.T) {
+	n, err := ParseString("locs x y\nnode A W(y)\nnode B R(x)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Comp.Op(0) != W(1) || n.Comp.Op(1) != R(0) {
+		t.Fatal("multi-location ops wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"node A X(x)",                            // unknown op kind, unknown loc
+		"locs x\nnode A W(y)",                    // unknown location
+		"locs x\nnode A W(x)\nnode A N",          // duplicate node
+		"locs x\nedge A B",                       // unknown nodes
+		"bogus directive",                        // unknown directive
+		"locs x\nlocs y",                         // duplicate locs
+		"locs x\nnode A",                         // malformed node
+		"locs x\nnode A W(x)\nedge A",            // malformed edge
+		"locs x\nnode A R(",                      // malformed op
+		"locs x\nnode A W(x)\nedge A A",          // self loop
+		"node A N\nnode B N\nedge A B\nedge B A", // cycle
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	n, err := ParseString("# just a comment\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Comp.Empty() {
+		t.Fatal("expected empty computation")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n, err := ParseString(fig2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.FormatString()
+	n2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\noutput:\n%s", err, out)
+	}
+	if !n.Comp.Equal(n2.Comp) {
+		t.Fatalf("round trip changed computation:\n%s\nvs\n%s", n.Comp, n2.Comp)
+	}
+	if strings.Join(n.NodeName, ",") != strings.Join(n2.NodeName, ",") {
+		t.Fatal("round trip changed node names")
+	}
+}
+
+// Property: random computations survive a Format/Parse round trip
+// bit-for-bit (structure, labels, edges).
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		locs := 1 + rng.Intn(3)
+		locNames := make([]string, locs)
+		for i := range locNames {
+			locNames[i] = fmt.Sprintf("loc%d", i)
+		}
+		n := NewNamed(locNames...)
+		count := rng.Intn(8)
+		all := AllOps(locs)
+		for i := 0; i < count; i++ {
+			n.AddNode(fmt.Sprintf("n%d", i), all[rng.Intn(len(all))])
+		}
+		for i := 0; i < count; i++ {
+			for j := i + 1; j < count; j++ {
+				if rng.Intn(3) == 0 {
+					if err := n.AddEdge(fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", j)); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		out := n.FormatString()
+		n2, err := ParseString(out)
+		if err != nil {
+			return false
+		}
+		return n.Comp.Equal(n2.Comp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamedBuilders(t *testing.T) {
+	n := NewNamed("x", "y")
+	n.AddNode("a", W(0))
+	n.AddNode("b", R(1))
+	if err := n.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEdge("a", "zzz"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if err := n.AddEdge("zzz", "b"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate node name must panic")
+			}
+		}()
+		n.AddNode("a", N)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate loc name must panic")
+			}
+		}()
+		NewNamed("x", "x")
+	}()
+}

@@ -1,0 +1,174 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func TestEachPrefixSetDiamond(t *testing.T) {
+	d := Diamond()
+	count := d.EachPrefixSet(func(set *bitset.Set) bool {
+		if !d.IsDownwardClosed(set) {
+			t.Fatalf("enumerated non-prefix %s", set)
+		}
+		return true
+	})
+	// Prefixes of diamond: {}, {0}, {0,1}, {0,2}, {0,1,2}, {0,1,2,3}.
+	if count != 6 {
+		t.Fatalf("prefix count = %d, want 6", count)
+	}
+}
+
+func TestEachPrefixSetChainAntichain(t *testing.T) {
+	if got := Chain(5).CountPrefixes(); got != 6 {
+		t.Fatalf("chain5 prefixes = %d, want 6", got)
+	}
+	if got := Antichain(4).CountPrefixes(); got != 16 {
+		t.Fatalf("antichain4 prefixes = %d, want 16", got)
+	}
+	if got := New(0).CountPrefixes(); got != 1 {
+		t.Fatalf("empty prefixes = %d, want 1", got)
+	}
+}
+
+func TestEachPrefixSetDistinctAndEarlyStop(t *testing.T) {
+	d := Grid(2, 2)
+	seen := map[string]bool{}
+	d.EachPrefixSet(func(set *bitset.Set) bool {
+		s := set.String()
+		if seen[s] {
+			t.Fatalf("duplicate prefix %s", s)
+		}
+		seen[s] = true
+		return true
+	})
+	n := 0
+	d.EachPrefixSet(func(*bitset.Set) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestEachRelaxation(t *testing.T) {
+	d := Diamond() // 4 edges -> 16 relaxations
+	count := d.EachRelaxation(func(r *Dag) bool {
+		if !r.IsRelaxationOf(d) {
+			t.Fatalf("enumerated non-relaxation %v", r)
+		}
+		return true
+	})
+	if count != 16 {
+		t.Fatalf("relaxation count = %d, want 16", count)
+	}
+}
+
+func TestIsRelaxationOf(t *testing.T) {
+	d := Diamond()
+	r := New(4)
+	r.MustAddEdge(0, 1)
+	if !r.IsRelaxationOf(d) {
+		t.Fatal("subset of edges rejected")
+	}
+	r.MustAddEdge(0, 3)
+	if r.IsRelaxationOf(d) {
+		t.Fatal("extra edge accepted")
+	}
+	if New(3).IsRelaxationOf(d) {
+		t.Fatal("node count mismatch accepted")
+	}
+	if !d.IsRelaxationOf(d) {
+		t.Fatal("dag must be a relaxation of itself")
+	}
+}
+
+func TestEachDagOnNodesCounts(t *testing.T) {
+	for n, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 8, 4: 64} {
+		got := EachDagOnNodes(n, func(d *Dag) bool {
+			if d.NumNodes() != n {
+				t.Fatalf("wrong node count %d", d.NumNodes())
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("enumerated cyclic dag: %v", err)
+			}
+			return true
+		})
+		if got != want {
+			t.Errorf("EachDagOnNodes(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEachDagOnNodesEarlyStop(t *testing.T) {
+	n := 0
+	got := EachDagOnNodes(4, func(*Dag) bool {
+		n++
+		return n < 5
+	})
+	if got != 5 {
+		t.Fatalf("visited = %d, want 5", got)
+	}
+}
+
+func TestEnumerationGuards(t *testing.T) {
+	// Explosion guards must panic rather than hang.
+	big := New(40)
+	for i := 0; i < 32; i++ {
+		big.MustAddEdge(Node(i), Node(i+8))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EachRelaxation must guard against 2^31 subsets")
+			}
+		}()
+		big.EachRelaxation(func(*Dag) bool { return true })
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EachDagOnNodes must guard against huge n")
+			}
+		}()
+		EachDagOnNodes(10, func(*Dag) bool { return true })
+	}()
+}
+
+// Property: the number of prefixes of a chain of length n is n+1, and
+// every downward-closed subset found by brute force is enumerated.
+func TestQuickPrefixesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		d := Random(rng, n, 0.4)
+		enumerated := map[string]bool{}
+		d.EachPrefixSet(func(set *bitset.Set) bool {
+			enumerated[set.String()] = true
+			return true
+		})
+		brute := 0
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			set := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					set.Add(i)
+				}
+			}
+			if d.IsDownwardClosed(set) {
+				brute++
+				if !enumerated[set.String()] {
+					return false
+				}
+			}
+		}
+		return brute == len(enumerated)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

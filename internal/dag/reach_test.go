@@ -1,0 +1,173 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClosureDiamond(t *testing.T) {
+	c := MustClosure(Diamond())
+	cases := []struct {
+		u, v Node
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {0, 3, true},
+		{1, 3, true}, {2, 3, true},
+		{1, 2, false}, {2, 1, false},
+		{3, 0, false}, {1, 0, false},
+		{0, 0, false}, // strict precedence
+	}
+	for _, tc := range cases {
+		if got := c.Precedes(tc.u, tc.v); got != tc.want {
+			t.Errorf("Precedes(%d, %d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestClosureBottom(t *testing.T) {
+	c := MustClosure(Diamond())
+	for u := Node(0); u < 4; u++ {
+		if !c.Precedes(None, u) {
+			t.Fatalf("⊥ must precede node %d", u)
+		}
+		if c.Precedes(u, None) {
+			t.Fatalf("node %d must not precede ⊥", u)
+		}
+		if !c.PrecedesEq(None, u) {
+			t.Fatalf("⊥ ≼ %d must hold", u)
+		}
+	}
+	if c.Precedes(None, None) {
+		t.Fatal("⊥ ≺ ⊥ must not hold")
+	}
+	if !c.PrecedesEq(None, None) {
+		t.Fatal("⊥ ≼ ⊥ must hold")
+	}
+}
+
+func TestClosurePrecedesEqComparable(t *testing.T) {
+	c := MustClosure(Diamond())
+	if !c.PrecedesEq(1, 1) {
+		t.Fatal("u ≼ u must hold")
+	}
+	if !c.Comparable(0, 3) || c.Comparable(1, 2) {
+		t.Fatal("Comparable wrong on diamond")
+	}
+}
+
+func TestClosureCycle(t *testing.T) {
+	d := New(2)
+	d.MustAddEdge(0, 1)
+	d.MustAddEdge(1, 0)
+	if _, err := NewClosure(d); err != ErrCycle {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestDescendantsAncestors(t *testing.T) {
+	c := MustClosure(Chain(4))
+	if got := c.Descendants(0).String(); got != "{1, 2, 3}" {
+		t.Fatalf("Descendants(0) = %s", got)
+	}
+	if got := c.Ancestors(3).String(); got != "{0, 1, 2}" {
+		t.Fatalf("Ancestors(3) = %s", got)
+	}
+	if !c.Descendants(3).Empty() || !c.Ancestors(0).Empty() {
+		t.Fatal("endpoints of chain have wrong closures")
+	}
+}
+
+func TestTransitiveClosureDag(t *testing.T) {
+	tc, err := TransitiveClosureDag(Chain(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.NumEdges() != 6 { // C(4,2) pairs in a chain
+		t.Fatalf("closure edges = %d, want 6", tc.NumEdges())
+	}
+	if !tc.HasEdge(0, 3) {
+		t.Fatal("closure misses 0->3")
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	// Chain plus redundant shortcut edges.
+	d := Chain(4)
+	d.MustAddEdge(0, 2)
+	d.MustAddEdge(0, 3)
+	d.MustAddEdge(1, 3)
+	tr, err := TransitiveReduction(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(Chain(4)) {
+		t.Fatalf("reduction = %v, want chain", tr)
+	}
+}
+
+func TestTransitiveReductionKeepsNecessaryEdges(t *testing.T) {
+	d := Diamond()
+	tr, err := TransitiveReduction(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(d) {
+		t.Fatalf("diamond is already reduced; got %v", tr)
+	}
+}
+
+// Property: Precedes(u, v) iff some topological sort check agrees with a
+// DFS reachability computation, and reduction/closure are idempotent
+// fixed points with identical precedence relations.
+func TestQuickClosureAgainstDFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		d := Random(rng, n, 0.3)
+		c := MustClosure(d)
+
+		var reach func(u, v Node, seen map[Node]bool) bool
+		reach = func(u, v Node, seen map[Node]bool) bool {
+			for _, w := range d.Succs(u) {
+				if w == v {
+					return true
+				}
+				if !seen[w] {
+					seen[w] = true
+					if reach(w, v, seen) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		for u := Node(0); int(u) < n; u++ {
+			for v := Node(0); int(v) < n; v++ {
+				if u == v {
+					continue
+				}
+				if c.Precedes(u, v) != reach(u, v, map[Node]bool{}) {
+					return false
+				}
+			}
+		}
+
+		tr, err := TransitiveReduction(d)
+		if err != nil {
+			return false
+		}
+		tc, err := TransitiveClosureDag(tr)
+		if err != nil {
+			return false
+		}
+		tc2, err := TransitiveClosureDag(d)
+		if err != nil {
+			return false
+		}
+		return tc.Equal(tc2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package enum
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/memmodel"
+	"repro/internal/observer"
+)
+
+// This file parallelizes the universe sweeps. The universe of dags on n
+// nodes is indexed by an edge bitmask, so it shards trivially:
+// worker w handles the masks congruent to w modulo the worker count.
+// Each worker owns private accumulators; results merge over a channel
+// when the worker finishes (share memory by communicating).
+
+// eachComputationShard enumerates the computations of exactly n nodes
+// whose dag mask is ≡ shard (mod shards).
+func eachComputationShard(n, numLocs, shard, shards int, fn func(c *computation.Computation) bool) {
+	ops := computation.AllOps(numLocs)
+	idx := 0
+	dag.EachDagOnNodes(n, func(g *dag.Dag) bool {
+		mine := idx%shards == shard
+		idx++
+		if !mine {
+			return true
+		}
+		labels := make([]computation.Op, n)
+		stopped := false
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == n {
+				c := computation.MustFrom(g.Clone(), append([]computation.Op(nil), labels...), numLocs)
+				if !fn(c) {
+					stopped = true
+					return false
+				}
+				return true
+			}
+			for _, op := range ops {
+				labels[i] = op
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0)
+		return !stopped
+	})
+}
+
+// CompareParallel is Compare distributed over `workers` goroutines
+// (defaults to GOMAXPROCS when workers <= 0). The result is identical
+// to Compare up to which witness pair is reported (the lowest-shard
+// witness wins, deterministically for a fixed worker count).
+func CompareParallel(a, b memmodel.Model, maxNodes, numLocs, workers int) Relation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make(chan Relation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			var r Relation
+			for n := 0; n <= maxNodes; n++ {
+				eachComputationShard(n, numLocs, shard, workers, func(c *computation.Computation) bool {
+					observer.Enumerate(c, func(o *observer.Observer) bool {
+						inA := a.Contains(c, o)
+						inB := b.Contains(c, o)
+						switch {
+						case inA && inB:
+							r.Both++
+						case inA:
+							r.AOnly++
+							if r.WitnessAOnly == nil {
+								r.WitnessAOnly = &memmodel.Pair{C: c, O: o.Clone()}
+							}
+						case inB:
+							r.BOnly++
+							if r.WitnessBOnly == nil {
+								r.WitnessBOnly = &memmodel.Pair{C: c, O: o.Clone()}
+							}
+						}
+						return true
+					})
+					return true
+				})
+			}
+			results <- r
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+	var merged Relation
+	for r := range results {
+		merged.AOnly += r.AOnly
+		merged.BOnly += r.BOnly
+		merged.Both += r.Both
+		if merged.WitnessAOnly == nil {
+			merged.WitnessAOnly = r.WitnessAOnly
+		}
+		if merged.WitnessBOnly == nil {
+			merged.WitnessBOnly = r.WitnessBOnly
+		}
+	}
+	return merged
+}
+
+// CountPairsParallel counts all (computation, observer) pairs of the
+// universe using `workers` goroutines.
+func CountPairsParallel(maxNodes, numLocs, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			total := 0
+			for n := 0; n <= maxNodes; n++ {
+				eachComputationShard(n, numLocs, shard, workers, func(c *computation.Computation) bool {
+					total += observer.Count(c, 0)
+					return true
+				})
+			}
+			results <- total
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+	total := 0
+	for t := range results {
+		total += t
+	}
+	return total
+}

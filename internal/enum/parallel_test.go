@@ -1,0 +1,44 @@
+package enum
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/memmodel"
+	"repro/internal/observer"
+)
+
+// The parallel sweep must produce exactly the sequential counts.
+func TestCompareParallelMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		seq := Compare(memmodel.LC, memmodel.NN, 3, 1)
+		par := CompareParallel(memmodel.LC, memmodel.NN, 3, 1, workers)
+		if par.AOnly != seq.AOnly || par.BOnly != seq.BOnly || par.Both != seq.Both {
+			t.Fatalf("workers=%d: parallel %+v != sequential %+v", workers, par, seq)
+		}
+	}
+}
+
+func TestCompareParallelWitnesses(t *testing.T) {
+	par := CompareParallel(memmodel.SC, memmodel.LC, 2, 2, 3)
+	if !par.StrictlyStronger() {
+		t.Fatalf("SC vs LC: %+v", par)
+	}
+	if par.WitnessBOnly == nil {
+		t.Fatal("strictness without witness")
+	}
+	// The witness really is in LC \ SC.
+	if memmodel.SC.Contains(par.WitnessBOnly.C, par.WitnessBOnly.O) ||
+		!memmodel.LC.Contains(par.WitnessBOnly.C, par.WitnessBOnly.O) {
+		t.Fatal("witness misclassified")
+	}
+}
+
+func TestCountPairsParallel(t *testing.T) {
+	seq := EachPair(3, 1, func(*computation.Computation, *observer.Observer) bool { return true })
+	for _, workers := range []int{0, 1, 4} {
+		if got := CountPairsParallel(3, 1, workers); got != seq {
+			t.Fatalf("workers=%d: %d != %d", workers, got, seq)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package expt drives the paper's experiments: the Figure 1 lattice of
+// models, the constructible-version fixpoints of Section 6 (Theorem 23
+// and the Section 7 open problems about NW* and WN*), and universe-wide
+// checks of completeness, monotonicity and constructibility
+// (Theorems 19, 21, 22). The cmd tools and the benchmark harness are
+// thin wrappers around this package.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/computation"
+	"repro/internal/enum"
+	"repro/internal/memmodel"
+	"repro/internal/observer"
+)
+
+// Models returns the six models of Figure 1, strongest first.
+func Models() []memmodel.Model {
+	return []memmodel.Model{
+		memmodel.SC, memmodel.LC, memmodel.NN,
+		memmodel.NW, memmodel.WN, memmodel.WW,
+	}
+}
+
+// ModelByName resolves one of the Figure 1 model names.
+func ModelByName(name string) (memmodel.Model, bool) {
+	for _, m := range Models() {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Edge is one claimed relation of Figure 1.
+type Edge struct {
+	A, B string // model names
+	// Want is the claimed relation: "⊊" (A strictly stronger than B) or
+	// "incomparable".
+	Want string
+	// MinNodes is the smallest universe (node bound) at which the full
+	// relation manifests. Below it, a "⊊" claim degrades to "⊆" (the
+	// inclusion must still hold; strictness witnesses are too big) and
+	// an incomparability claim is unfalsifiable.
+	MinNodes int
+}
+
+// Figure1Edges returns the relations Figure 1 asserts. The LC/NN
+// strictness and the NW/WN incomparability both need computations with
+// ≥4 nodes (the Figure 4 crossing and the Figure 2 anomaly).
+func Figure1Edges() []Edge {
+	return []Edge{
+		{A: "SC", B: "LC", Want: "⊊", MinNodes: 2},
+		{A: "LC", B: "NN", Want: "⊊", MinNodes: 4},
+		{A: "NN", B: "NW", Want: "⊊", MinNodes: 3},
+		{A: "NN", B: "WN", Want: "⊊", MinNodes: 3},
+		{A: "NW", B: "WW", Want: "⊊", MinNodes: 3},
+		{A: "WN", B: "WW", Want: "⊊", MinNodes: 4},
+		{A: "NW", B: "WN", Want: "incomparable", MinNodes: 4},
+	}
+}
+
+// EdgeResult is the verdict for one lattice edge over a universe.
+type EdgeResult struct {
+	Edge     Edge
+	Relation enum.Relation
+	Got      string // classification of Relation
+	OK       bool   // Got matches Edge.Want
+}
+
+// LatticeReport is the machine-checked Figure 1.
+type LatticeReport struct {
+	MaxNodes, NumLocs int
+	Pairs             int // total pairs in the universe
+	Edges             []EdgeResult
+}
+
+// classify names the relation from A's point of view.
+func classify(r enum.Relation) string {
+	switch {
+	case r.Equal():
+		return "="
+	case r.StrictlyStronger():
+		return "⊊"
+	case r.Incomparable():
+		return "incomparable"
+	default:
+		return "⊋"
+	}
+}
+
+// RunLattice machine-checks every Figure 1 edge over the universe of
+// all computations with at most maxNodes nodes and numLocs locations.
+// The SC/LC edge needs numLocs ≥ 2 to be strict; RunLattice uses
+// max(numLocs, 2) for that edge only, matching the paper's remark that
+// SC ⊋ LC "as long as there is more than one location".
+func RunLattice(maxNodes, numLocs int) LatticeReport {
+	return RunLatticeParallel(maxNodes, numLocs, 1)
+}
+
+// RunLatticeParallel is RunLattice with each edge's sweep distributed
+// over the given number of worker goroutines (<= 0 means GOMAXPROCS).
+func RunLatticeParallel(maxNodes, numLocs, workers int) LatticeReport {
+	rep := LatticeReport{MaxNodes: maxNodes, NumLocs: numLocs}
+	rep.Pairs = enum.CountPairsParallel(maxNodes, numLocs, workers)
+	for _, e := range Figure1Edges() {
+		a, ok := ModelByName(e.A)
+		if !ok {
+			panic("expt: unknown model " + e.A)
+		}
+		b, ok := ModelByName(e.B)
+		if !ok {
+			panic("expt: unknown model " + e.B)
+		}
+		locs := numLocs
+		if e.A == "SC" && e.B == "LC" && locs < 2 {
+			locs = 2
+		}
+		r := enum.CompareParallel(a, b, maxNodes, locs, workers)
+		got := classify(r)
+		ok = got == e.Want
+		if maxNodes < e.MinNodes {
+			// Below the edge's witness size, only the inclusion half of a
+			// "⊊" claim is checkable; incomparability is unfalsifiable.
+			switch e.Want {
+			case "⊊":
+				ok = r.AOnly == 0
+			case "incomparable":
+				ok = true
+			}
+		}
+		rep.Edges = append(rep.Edges, EdgeResult{
+			Edge:     e,
+			Relation: r,
+			Got:      got,
+			OK:       ok,
+		})
+	}
+	return rep
+}
+
+// AllOK reports whether every edge matched Figure 1.
+func (r LatticeReport) AllOK() bool {
+	for _, e := range r.Edges {
+		if !e.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as the Figure 1 table.
+func (r LatticeReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 lattice over all computations ≤%d nodes, %d location(s): %d pairs\n",
+		r.MaxNodes, r.NumLocs, r.Pairs)
+	fmt.Fprintf(&b, "%-4s %-14s %-4s  %-8s %-8s %-8s  %s\n", "A", "relation", "B", "|A∖B|", "|B∖A|", "|A∩B|", "verdict")
+	for _, e := range r.Edges {
+		verdict := "OK"
+		if !e.OK {
+			verdict = fmt.Sprintf("MISMATCH (want %s)", e.Edge.Want)
+		}
+		fmt.Fprintf(&b, "%-4s %-14s %-4s  %-8d %-8d %-8d  %s\n",
+			e.Edge.A, e.Got, e.Edge.B, e.Relation.AOnly, e.Relation.BOnly, e.Relation.Both, verdict)
+	}
+	return b.String()
+}
+
+// StarReport is the result of a constructible-version fixpoint
+// experiment for one base model.
+type StarReport struct {
+	Base              string
+	MaxNodes, NumLocs int
+	// BasePairs and StarPairs count pairs by computation size.
+	BasePairs, StarPairs []int
+	// LCEqualUpTo is the largest interior size s ≤ MaxNodes-1 such that
+	// survivors(≤s) = LC(≤s); -1 if they differ already at size 0.
+	LCEqualUpTo int
+	// FirstMismatch describes the smallest survivor/LC disagreement in
+	// the interior, if any.
+	FirstMismatch string
+	Star          *memmodel.PairSet
+}
+
+// RunStar computes the constructible version of the named base model
+// over the full universe and compares it with LC on the interior.
+// For base = NN this is the Theorem 23 experiment; for WN and NW it
+// probes the open problems of Section 7.
+func RunStar(base memmodel.Model, maxNodes, numLocs int) StarReport {
+	universe := enum.AllComputations(maxNodes, numLocs)
+	ops := computation.AllOps(numLocs)
+	star := memmodel.ConstructibleVersion(base, universe, ops)
+
+	rep := StarReport{
+		Base:        base.Name(),
+		MaxNodes:    maxNodes,
+		NumLocs:     numLocs,
+		BasePairs:   make([]int, maxNodes+1),
+		StarPairs:   make([]int, maxNodes+1),
+		LCEqualUpTo: -1,
+		Star:        star,
+	}
+
+	mismatchSize := maxNodes + 1
+	for _, c := range universe {
+		size := c.NumNodes()
+		observer.Enumerate(c, func(o *observer.Observer) bool {
+			inBase := base.Contains(c, o)
+			inStar := star.Contains(c, o)
+			if inBase {
+				rep.BasePairs[size]++
+			}
+			if inStar {
+				rep.StarPairs[size]++
+			}
+			if size < maxNodes && size < mismatchSize {
+				if inStar != memmodel.LC.Contains(c, o) {
+					mismatchSize = size
+					rep.FirstMismatch = fmt.Sprintf("size %d: %v / %v (star=%v, LC=%v)",
+						size, c, o, inStar, !inStar)
+				}
+			}
+			return true
+		})
+	}
+	if mismatchSize > maxNodes {
+		rep.LCEqualUpTo = maxNodes - 1
+	} else {
+		rep.LCEqualUpTo = mismatchSize - 1
+	}
+	return rep
+}
+
+// String renders the fixpoint report.
+func (r StarReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s* over computations ≤%d nodes, %d location(s)\n", r.Base, r.MaxNodes, r.NumLocs)
+	fmt.Fprintf(&b, "%-6s %-12s %-12s\n", "size", "|"+r.Base+"|", "|"+r.Base+"*|")
+	for s := range r.BasePairs {
+		fmt.Fprintf(&b, "%-6d %-12d %-12d\n", s, r.BasePairs[s], r.StarPairs[s])
+	}
+	if r.FirstMismatch == "" {
+		fmt.Fprintf(&b, "survivors = LC on the interior (sizes ≤ %d): with LC ⊆ %s* ⊆ survivors, this PROVES %s* = LC for those sizes\n",
+			r.LCEqualUpTo, r.Base, r.Base)
+	} else {
+		fmt.Fprintf(&b, "survivors ≠ LC: first mismatch at %s\n", r.FirstMismatch)
+		fmt.Fprintf(&b, "(survivors over-approximate %s*, so a mismatch is inconclusive about %s* ≠ LC)\n", r.Base, r.Base)
+	}
+	return b.String()
+}
+
+// PropertyReport summarizes universe-wide property checks for a model.
+type PropertyReport struct {
+	Model             string
+	MaxNodes, NumLocs int
+	Computations      int
+	Pairs             int // pairs in the model
+	Complete          bool
+	Monotonic         bool
+	// ConstructibleAug reports whether the Theorem 12 criterion held at
+	// every pair of the model in the universe: each augmentation (one
+	// node larger than the pair, possibly exceeding MaxNodes) admits an
+	// extending observer in the model.
+	ConstructibleAug bool
+	FirstFailure     string
+}
+
+// RunProperties machine-checks completeness, monotonicity, and the
+// Theorem 12 augmentation criterion for m over the universe.
+func RunProperties(m memmodel.Model, maxNodes, numLocs int) PropertyReport {
+	rep := PropertyReport{
+		Model: m.Name(), MaxNodes: maxNodes, NumLocs: numLocs,
+		Complete: true, Monotonic: true, ConstructibleAug: true,
+	}
+	ops := computation.AllOps(numLocs)
+	enum.EachComputationUpTo(maxNodes, numLocs, func(c *computation.Computation) bool {
+		rep.Computations++
+		if rep.Complete && !memmodel.HasObserver(m, c) {
+			rep.Complete = false
+			if rep.FirstFailure == "" {
+				rep.FirstFailure = fmt.Sprintf("incomplete at %v", c)
+			}
+		}
+		observer.Enumerate(c, func(o *observer.Observer) bool {
+			if !m.Contains(c, o) {
+				return true
+			}
+			rep.Pairs++
+			if rep.Monotonic && !memmodel.MonotonicAt(m, c, o) {
+				rep.Monotonic = false
+				if rep.FirstFailure == "" {
+					rep.FirstFailure = fmt.Sprintf("non-monotonic at %v / %v", c, o)
+				}
+			}
+			if rep.ConstructibleAug {
+				if op, ok := memmodel.ConstructibleAtAug(m, c, o.Clone(), ops); !ok {
+					rep.ConstructibleAug = false
+					if rep.FirstFailure == "" {
+						rep.FirstFailure = fmt.Sprintf("aug by %s fails at %v / %v", op, c, o)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return rep
+}
+
+// String renders the property report as one line per property.
+func (r PropertyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s over ≤%d nodes, %d location(s): %d computations, %d pairs\n",
+		r.Model, r.MaxNodes, r.NumLocs, r.Computations, r.Pairs)
+	fmt.Fprintf(&b, "  complete:            %v\n", r.Complete)
+	fmt.Fprintf(&b, "  monotonic:           %v\n", r.Monotonic)
+	fmt.Fprintf(&b, "  constructible (aug): %v\n", r.ConstructibleAug)
+	if r.FirstFailure != "" {
+		fmt.Fprintf(&b, "  first failure:       %s\n", r.FirstFailure)
+	}
+	return b.String()
+}
+
+// Trap is a witness of non-constructibility: a model pair that cannot
+// be extended across the augmentation by Op. Revealing the pair's
+// computation and then Op is an adversary strategy (Section 3) that
+// defeats every online algorithm for the model, since the algorithm
+// may end up having produced exactly this observer.
+type Trap struct {
+	Pair memmodel.Pair
+	Op   computation.Op
+}
+
+// FindTrap searches the universe for the smallest non-constructibility
+// witness of the model, or reports that none exists up to the bound
+// (the model passed the Theorem 12 criterion everywhere). For NN it
+// rediscovers Figure 4 automatically.
+func FindTrap(m memmodel.Model, maxNodes, numLocs int) (Trap, bool) {
+	ops := computation.AllOps(numLocs)
+	var trap Trap
+	found := false
+	for n := 0; n <= maxNodes && !found; n++ {
+		enum.EachComputation(n, numLocs, func(c *computation.Computation) bool {
+			observer.Enumerate(c, func(o *observer.Observer) bool {
+				if !m.Contains(c, o) {
+					return true
+				}
+				if op, ok := memmodel.ConstructibleAtAug(m, c, o.Clone(), ops); !ok {
+					trap = Trap{Pair: memmodel.Pair{C: c, O: o.Clone()}, Op: op}
+					found = true
+					return false
+				}
+				return true
+			})
+			return !found
+		})
+	}
+	return trap, found
+}
+
+// MembershipCensus counts, for every model, the pairs it contains in
+// the universe, as a quick overview table.
+func MembershipCensus(maxNodes, numLocs int) string {
+	models := Models()
+	counts := make([]int, len(models))
+	total := 0
+	enum.EachPair(maxNodes, numLocs, func(c *computation.Computation, o *observer.Observer) bool {
+		total++
+		for i, m := range models {
+			if m.Contains(c, o) {
+				counts[i]++
+			}
+		}
+		return true
+	})
+	type row struct {
+		name  string
+		count int
+	}
+	rows := make([]row, len(models))
+	for i, m := range models {
+		rows[i] = row{m.Name(), counts[i]}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].count < rows[j].count })
+	var b strings.Builder
+	fmt.Fprintf(&b, "membership census over ≤%d nodes, %d location(s): %d pairs total\n", maxNodes, numLocs, total)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-4s %8d\n", r.name, r.count)
+	}
+	return b.String()
+}

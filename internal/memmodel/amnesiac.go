@@ -1,0 +1,51 @@
+package memmodel
+
+import (
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// Amnesiac is the memory model in which no node ever observes another
+// node's write: writes observe themselves (as condition 2.3 forces) and
+// every other entry is ⊥. Each computation has exactly one amnesiac
+// observer — the canonical minimal observer of observer.New.
+//
+// Amnesiac is a degenerate memory (reads never return written values),
+// but it is theoretically sharp: it is constructible (restricting the
+// amnesiac observer of any computation to a prefix yields the prefix's
+// amnesiac observer), and it is stronger than WN-dag consistency —
+// a WN violation needs a node w ≠ u with Φ(l, w) = u for a write u,
+// which the amnesiac observer never produces.
+//
+// Consequence (a small result the paper leaves open in Section 7):
+// Amnesiac ⊆ WN* by Theorem 9.3, and the amnesiac pair on the two-node
+// computation W(l) → N is not in LC (the no-op must observe the
+// preceding write under any serialization). Hence LC ⊊ WN* — the
+// inclusion LC ⊆ WN* of Figure 1 is strict. The argument fails for NW*:
+// the triple ⊥ ≺ v ≺ w with a write v between two ⊥-observers violates
+// NW, so Amnesiac ⊄ NW, and the strictness of LC ⊆ NW* remains open.
+// The tests machine-check every step of this argument.
+var Amnesiac Model = amnesiacModel{}
+
+type amnesiacModel struct{}
+
+func (amnesiacModel) Name() string { return "AMNESIAC" }
+
+func (amnesiacModel) Contains(c *computation.Computation, o *observer.Observer) bool {
+	if o.Validate(c) != nil {
+		return false
+	}
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		for u := dag.Node(0); int(u) < c.NumNodes(); u++ {
+			want := observer.Bottom
+			if c.Op(u).IsWriteTo(l) {
+				want = u
+			}
+			if o.Get(l, u) != want {
+				return false
+			}
+		}
+	}
+	return true
+}

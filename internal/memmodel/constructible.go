@@ -1,0 +1,176 @@
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/computation"
+	"repro/internal/observer"
+)
+
+// This file computes the constructible version Δ* (Definition 8) of a
+// model over a bounded universe of computations, as the greatest
+// fixpoint of single-augmentation extendability:
+//
+//	prune (C, Φ) whenever some instruction o has no Φ' with
+//	(aug_o(C), Φ') surviving and Φ'|_C = Φ.
+//
+// Theorem 12 justifies using augmentations only: the models of interest
+// are monotonic, and for monotonic models extendability to aug_o(C)
+// implies extendability to every extension by o.
+//
+// Boundary effect: pairs at the maximum universe size have no
+// augmentation inside the universe and are never pruned, so the
+// surviving set S over-approximates Δ* near the boundary. Since pruning
+// information flows one size level per augmentation, S is exact only in
+// the interior; how deep depends on the model. The experiments exploit
+// the sandwich LC ⊆ NN* ⊆ S: whenever S(size ≤ s) = LC(size ≤ s), the
+// equality NN* = LC is *proved* for computations of at most s nodes.
+
+// PairSet is a finite memory model represented extensionally: for each
+// computation of a universe, the set of surviving observer functions.
+// It implements Model; Contains returns false for computations outside
+// the universe, so use it only on universe members.
+type PairSet struct {
+	name    string
+	maxN    int
+	entries map[string]*pairEntry // key: canonical computation string
+}
+
+type pairEntry struct {
+	c     *computation.Computation
+	alive map[string]*observer.Observer // key: observer.Key()
+}
+
+// Name returns the set's name, e.g. "NN*".
+func (s *PairSet) Name() string { return s.name }
+
+// MaxNodes returns the universe size bound.
+func (s *PairSet) MaxNodes() int { return s.maxN }
+
+// Contains reports membership. Computations outside the universe are
+// reported as absent.
+func (s *PairSet) Contains(c *computation.Computation, o *observer.Observer) bool {
+	e, ok := s.entries[c.String()]
+	if !ok {
+		return false
+	}
+	_, alive := e.alive[o.Key()]
+	return alive
+}
+
+// NumPairs returns the number of surviving pairs, optionally restricted
+// to computations with at most maxNodes nodes (pass < 0 for all).
+func (s *PairSet) NumPairs(maxNodes int) int {
+	total := 0
+	for _, e := range s.entries {
+		if maxNodes >= 0 && e.c.NumNodes() > maxNodes {
+			continue
+		}
+		total += len(e.alive)
+	}
+	return total
+}
+
+// EachPair visits surviving pairs in a deterministic order (sorted by
+// computation key). Stops early if fn returns false.
+func (s *PairSet) EachPair(fn func(c *computation.Computation, o *observer.Observer) bool) {
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := s.entries[k]
+		okeys := make([]string, 0, len(e.alive))
+		for ok := range e.alive {
+			okeys = append(okeys, ok)
+		}
+		sort.Strings(okeys)
+		for _, ok := range okeys {
+			if !fn(e.c, e.alive[ok]) {
+				return
+			}
+		}
+	}
+}
+
+// ConstructibleVersion computes the greatest fixpoint described above
+// for model m over the given universe of computations (which must be
+// closed under augmentation below the maximum size — internal/enum
+// universes are). ops is the instruction set O to quantify over,
+// typically computation.AllOps(numLocs). The returned PairSet is named
+// m.Name() + "*".
+func ConstructibleVersion(m Model, universe []*computation.Computation, ops []computation.Op) *PairSet {
+	s := &PairSet{name: m.Name() + "*", entries: make(map[string]*pairEntry, len(universe))}
+	for _, c := range universe {
+		if c.NumNodes() > s.maxN {
+			s.maxN = c.NumNodes()
+		}
+		e := &pairEntry{c: c, alive: make(map[string]*observer.Observer)}
+		observer.Enumerate(c, func(o *observer.Observer) bool {
+			if m.Contains(c, o) {
+				e.alive[o.Key()] = o.Clone()
+			}
+			return true
+		})
+		s.entries[c.String()] = e
+	}
+
+	// Precompute, for each interior computation, its augmentations'
+	// entries (shared across rounds).
+	type augmented struct {
+		entry *pairEntry
+	}
+	augs := make(map[string][]augmented)
+	for key, e := range s.entries {
+		if e.c.NumNodes() >= s.maxN {
+			continue
+		}
+		for _, op := range ops {
+			aug, _ := e.c.Augment(op)
+			ae, ok := s.entries[aug.String()]
+			if !ok {
+				panic(fmt.Sprintf("memmodel: universe not closed under augmentation: %s missing", aug))
+			}
+			augs[key] = append(augs[key], augmented{entry: ae})
+		}
+	}
+
+	for {
+		changed := false
+		for key, e := range s.entries {
+			as, interior := augs[key]
+			if !interior {
+				continue
+			}
+			var dead []string
+			for okey, o := range e.alive {
+				for _, a := range as {
+					if !anyExtension(a.entry, o) {
+						dead = append(dead, okey)
+						break
+					}
+				}
+			}
+			for _, okey := range dead {
+				delete(e.alive, okey)
+				changed = true
+			}
+		}
+		if !changed {
+			return s
+		}
+	}
+}
+
+// anyExtension reports whether some surviving observer of the
+// augmentation entry restricts to o.
+func anyExtension(ae *pairEntry, o *observer.Observer) bool {
+	for _, o2 := range ae.alive {
+		if o2.Extends(o) {
+			return true
+		}
+	}
+	return false
+}

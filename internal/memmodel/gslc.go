@@ -1,0 +1,57 @@
+package memmodel
+
+import (
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// GSLC is a computation-centric rendering of Gao and Sarkar's
+// "location consistency" [GS95] — the other model of that name, whose
+// collision with Definition 18 the paper discusses in Section 7.
+//
+// In [GS95] a read may return the value of any write in the "most
+// recent" frontier of its causal past: writes that precede the read
+// and are not superseded by a later write that also precedes it, plus
+// writes concurrent with the read. Rendered with observer functions:
+//
+//	(C, Φ) ∈ GSLC iff for all l and u: there is no write x to l with
+//	Φ(l, u) ≺ x ≺ u  (with the ⊥ ≺ x convention, so Φ(l, u) = ⊥
+//	additionally requires that no write to l precedes u at all).
+//
+// GSLC is a per-node ("local") condition with no coupling along paths,
+// which makes it monotonic and constructible — a fresh node can always
+// observe a maximal write of its past. Its place in Figure 1's lattice,
+// machine-checked by the tests and the census:
+//
+//	NN ⊊ NW ⊊ GSLC ⊊ WW,   GSLC incomparable with WN.
+//
+// In particular GSLC is strictly weaker than the paper's LC: the
+// Figure 4 crossing pair is GSLC (each read observes a concurrent
+// write) but not LC. The two "location consistencies" agree only on
+// serializable behaviors, quantifying the Section 7 warning that the
+// name means two different things.
+var GSLC Model = gslcModel{}
+
+type gslcModel struct{}
+
+func (gslcModel) Name() string { return "GSLC" }
+
+func (gslcModel) Contains(c *computation.Computation, o *observer.Observer) bool {
+	if o.Validate(c) != nil {
+		return false
+	}
+	cl := c.Closure()
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		writers := c.Writers(l)
+		for u := dag.Node(0); int(u) < c.NumNodes(); u++ {
+			w := o.Get(l, u)
+			for _, x := range writers {
+				if x != w && cl.Precedes(w, x) && cl.Precedes(x, u) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

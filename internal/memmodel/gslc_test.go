@@ -1,0 +1,183 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+	"repro/internal/paperfig"
+)
+
+// GSLC's lattice position, checked on the paper's fixtures:
+// the Figure 4 crossing is GSLC but not LC (the two "location
+// consistencies" disagree); Figure 3 is GSLC but not NW; the
+// write-forgetting pair is WN but not GSLC.
+func TestGSLCFixtures(t *testing.T) {
+	fx4 := paperfig.Figure4()
+	if !GSLC.Contains(fx4.Prefix, fx4.PrefixObs) {
+		t.Fatal("Figure 4 crossing must be GSLC (concurrent writes observable)")
+	}
+	if LC.Contains(fx4.Prefix, fx4.PrefixObs) {
+		t.Fatal("... while the paper's LC rejects it")
+	}
+
+	fx3 := paperfig.Figure3()
+	if !GSLC.Contains(fx3.Comp, fx3.Obs) {
+		t.Fatal("Figure 3 must be GSLC")
+	}
+	if NW.Contains(fx3.Comp, fx3.Obs) {
+		t.Fatal("Figure 3 must not be NW (separates NW ⊊ GSLC)")
+	}
+
+	// The forgetting pair: W -> R with the read observing ⊥.
+	c := computation.New(1)
+	w := c.AddNode(computation.W(0))
+	r := c.AddNode(computation.R(0))
+	c.MustAddEdge(w, r)
+	o := observer.New(c)
+	if GSLC.Contains(c, o) {
+		t.Fatal("a ⊥ read past a preceding write must violate GSLC")
+	}
+	if !WN.Contains(c, o) {
+		t.Fatal("... while WN tolerates it (separates GSLC vs WN)")
+	}
+	_ = w
+	_ = r
+}
+
+// Exhaustive lattice relations over the ≤4-node universe:
+// NW ⊊ GSLC ⊊ WW, GSLC incomparable with WN, LC ⊊ GSLC.
+func TestGSLCLatticeExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4-node sweep skipped in -short mode")
+	}
+	nwOnly, gslcOnlyVsNW := 0, 0
+	gslcOnly, wwOnly := 0, 0
+	gslcVsWN, wnVsGSLC := 0, 0
+	lcOutside := 0
+	sweep(t, 4, 1, func(c *computation.Computation, o *observer.Observer) {
+		inGSLC := GSLC.Contains(c, o)
+		if NW.Contains(c, o) && !inGSLC {
+			nwOnly++
+		}
+		if inGSLC && !NW.Contains(c, o) {
+			gslcOnlyVsNW++
+		}
+		if inGSLC && !WW.Contains(c, o) {
+			gslcOnly++
+		}
+		if WW.Contains(c, o) && !inGSLC {
+			wwOnly++
+		}
+		if inGSLC && !WN.Contains(c, o) {
+			gslcVsWN++
+		}
+		if WN.Contains(c, o) && !inGSLC {
+			wnVsGSLC++
+		}
+		if LC.Contains(c, o) && !inGSLC {
+			lcOutside++
+		}
+	})
+	if nwOnly != 0 {
+		t.Errorf("NW ⊆ GSLC violated %d times", nwOnly)
+	}
+	if gslcOnlyVsNW == 0 {
+		t.Error("GSLC = NW: expected strictness witnesses")
+	}
+	if gslcOnly != 0 {
+		t.Errorf("GSLC ⊆ WW violated %d times", gslcOnly)
+	}
+	if wwOnly == 0 {
+		t.Error("GSLC = WW: expected strictness witnesses")
+	}
+	if gslcVsWN == 0 || wnVsGSLC == 0 {
+		t.Errorf("GSLC vs WN should be incomparable: %d / %d", gslcVsWN, wnVsGSLC)
+	}
+	if lcOutside != 0 {
+		t.Errorf("LC ⊆ GSLC violated %d times", lcOutside)
+	}
+}
+
+func sweep(t *testing.T, maxNodes, locs int, fn func(*computation.Computation, *observer.Observer)) {
+	t.Helper()
+	for _, c := range smallUniverseN(maxNodes, locs) {
+		observer.Enumerate(c, func(o *observer.Observer) bool {
+			fn(c, o)
+			return true
+		})
+	}
+}
+
+func smallUniverseN(maxNodes, locs int) []*computation.Computation {
+	var out []*computation.Computation
+	ops := computation.AllOps(locs)
+	for n := 0; n <= maxNodes; n++ {
+		dag.EachDagOnNodes(n, func(g *dag.Dag) bool {
+			labels := make([]computation.Op, n)
+			var rec func(i int)
+			rec = func(i int) {
+				if i == n {
+					out = append(out, computation.MustFrom(g.Clone(), append([]computation.Op(nil), labels...), locs))
+					return
+				}
+				for _, op := range ops {
+					labels[i] = op
+					rec(i + 1)
+				}
+			}
+			rec(0)
+			return true
+		})
+	}
+	return out
+}
+
+// GSLC is monotonic and constructible (it is a local condition), so an
+// online memory can maintain it exactly — unlike NN.
+func TestGSLCMonotonicConstructible(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		c := randomComputation(rng, 5, 2)
+		ops := computation.AllOps(c.NumLocs())
+		observer.Enumerate(c, func(o *observer.Observer) bool {
+			if !GSLC.Contains(c, o) {
+				return true
+			}
+			if !MonotonicAt(GSLC, c, o) {
+				t.Fatalf("GSLC not monotonic at %v / %v", c, o)
+			}
+			if op, ok := ConstructibleAtAug(GSLC, c, o.Clone(), ops); !ok {
+				t.Fatalf("GSLC failed to extend by %s at %v / %v", op, c, o)
+			}
+			return observer.Count(c, 50) < 50 // cap the inner sweep
+		})
+	}
+}
+
+// Property: NN ⊆ GSLC on random pairs (skipping a write on a path is an
+// NN violation too).
+func TestQuickNNSubsetGSLC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomComputation(rng, 5, 2)
+		if observer.Count(c, 200) >= 200 {
+			return true
+		}
+		ok := true
+		observer.Enumerate(c, func(o *observer.Observer) bool {
+			if NN.Contains(c, o) && !GSLC.Contains(c, o) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package memmodel
+
+import (
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// LC is location consistency (Definition 18), called coherence in much
+// of the literature [GS95, HP96]: each location is serialized
+// independently. (C, Φ) ∈ LC iff for every location l there is a
+// topological sort T_l ∈ TS(C) with Φ(l, ·) = W_{T_l}(l, ·):
+//
+//	LC = { (C, Φ) : ∀l ∃T ∈ TS(C) ∀u  Φ(l, u) = W_T(l, u) }
+//
+// Section 6 proves LC is the constructible version of NN-dag
+// consistency (Theorem 23); the experiments machine-check that claim.
+//
+// Note this is *not* the "location consistency" of Gao & Sarkar [GS95],
+// which is a different (weaker) model; the paper's Section 7 discusses
+// the naming collision.
+var LC Model = lcModel{}
+
+type lcModel struct{}
+
+func (lcModel) Name() string { return "LC" }
+
+func (lcModel) Contains(c *computation.Computation, o *observer.Observer) bool {
+	_, ok := LCWitness(c, o)
+	return ok
+}
+
+// LCWitness returns one topological sort per location witnessing
+// LC-membership, if (c, o) ∈ LC. Each location is decided by the
+// polynomial SerializeLoc reduction with every node's last-writer value
+// pinned to the observer's.
+func LCWitness(c *computation.Computation, o *observer.Observer) ([][]dag.Node, bool) {
+	if o.Validate(c) != nil {
+		return nil, false
+	}
+	sorts := make([][]dag.Node, c.NumLocs())
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		loc := l
+		order, ok := SerializeLoc(c, loc, func(u dag.Node) (dag.Node, bool) {
+			return o.Get(loc, u), true
+		})
+		if !ok {
+			return nil, false
+		}
+		sorts[l] = order
+	}
+	return sorts, true
+}
+
+// lcContainsBySearch is the exponential topological-sort search for LC
+// membership, retained for cross-validation of SerializeLoc in tests
+// and benchmarks.
+func lcContainsBySearch(c *computation.Computation, o *observer.Observer) bool {
+	if o.Validate(c) != nil {
+		return false
+	}
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		if _, ok := searchLastWriter(c, o, []computation.Loc{l}); !ok {
+			return false
+		}
+	}
+	return true
+}

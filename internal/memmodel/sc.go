@@ -1,0 +1,44 @@
+package memmodel
+
+import (
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// SC is sequential consistency (Definition 17): (C, Φ) ∈ SC iff there
+// is a single topological sort T ∈ TS(C) whose last-writer function
+// agrees with Φ at every location:
+//
+//	SC = { (C, Φ) : ∃T ∈ TS(C) ∀l ∀u  Φ(l, u) = W_T(l, u) }
+//
+// Because the definition quantifies over topological sorts of the
+// computation rather than interleavings of per-processor instruction
+// streams, it generalizes Lamport's processor-centric definition
+// (Section 4 of the paper).
+var SC Model = scModel{}
+
+type scModel struct{}
+
+func (scModel) Name() string { return "SC" }
+
+func (scModel) Contains(c *computation.Computation, o *observer.Observer) bool {
+	_, ok := SCWitness(c, o)
+	return ok
+}
+
+// SCWitness returns a topological sort T with Φ = W_T, if one exists.
+func SCWitness(c *computation.Computation, o *observer.Observer) ([]dag.Node, bool) {
+	if o.Validate(c) != nil {
+		return nil, false
+	}
+	return searchLastWriter(c, o, allLocs(c))
+}
+
+func allLocs(c *computation.Computation) []computation.Loc {
+	locs := make([]computation.Loc, c.NumLocs())
+	for l := range locs {
+		locs[l] = computation.Loc(l)
+	}
+	return locs
+}

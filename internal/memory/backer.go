@@ -1,0 +1,138 @@
+package memory
+
+import (
+	"math/rand"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// Backer is an online BACKER memory: the same backing-store/cache
+// protocol as internal/backer, but driven node by node as the
+// computation is revealed, with processor placement chosen online (a
+// node runs where one of its predecessors ran, or on a random
+// processor when it has none — a cheap stand-in for work stealing).
+//
+// Every node's observer row is produced by fetching each location
+// through the executing processor's cache, so the memory commits a
+// full observer function online. Its pairs are location consistent —
+// the online half of the [Luc97] claim — which the tests verify by
+// model membership on every prefix.
+type Backer struct {
+	procs int
+	rng   *rand.Rand
+
+	main     []dag.Node
+	caches   []map[computation.Loc]backerLine
+	nodeProc []int
+	next     dag.Node
+
+	// Stats counts protocol events since the last Reset.
+	Stats struct {
+		Fetches, Hits, Reconciles, Flushes, CrossEdges int
+	}
+}
+
+type backerLine struct {
+	writer dag.Node
+	dirty  bool
+}
+
+// NewBacker returns an online BACKER memory with P processors.
+func NewBacker(P int, rng *rand.Rand) *Backer {
+	if P < 1 {
+		panic("memory: Backer needs at least one processor")
+	}
+	return &Backer{procs: P, rng: rng}
+}
+
+// Name implements Memory.
+func (b *Backer) Name() string { return "backer-online" }
+
+// Reset implements Memory.
+func (b *Backer) Reset(numLocs int) {
+	b.main = make([]dag.Node, numLocs)
+	for l := range b.main {
+		b.main[l] = observer.Bottom
+	}
+	b.caches = make([]map[computation.Loc]backerLine, b.procs)
+	for p := range b.caches {
+		b.caches[p] = make(map[computation.Loc]backerLine)
+	}
+	b.nodeProc = b.nodeProc[:0]
+	b.next = 0
+	b.Stats.Fetches, b.Stats.Hits, b.Stats.Reconciles, b.Stats.Flushes, b.Stats.CrossEdges = 0, 0, 0, 0, 0
+}
+
+func (b *Backer) reconcile(p int) {
+	b.Stats.Reconciles++
+	for l, ln := range b.caches[p] {
+		if ln.dirty {
+			b.main[l] = ln.writer
+			b.caches[p][l] = backerLine{writer: ln.writer}
+		}
+	}
+}
+
+func (b *Backer) flush(p int) {
+	b.Stats.Flushes++
+	for l, ln := range b.caches[p] {
+		if ln.dirty {
+			b.main[l] = ln.writer
+		}
+		delete(b.caches[p], l)
+	}
+}
+
+// Step implements Memory.
+func (b *Backer) Step(op computation.Op, preds []dag.Node) ([]dag.Node, error) {
+	u := b.next
+	b.next++
+
+	// Placement: inherit a random predecessor's processor, else random.
+	var p int
+	if len(preds) > 0 {
+		p = b.nodeProc[preds[b.rng.Intn(len(preds))]]
+	} else {
+		p = b.rng.Intn(b.procs)
+	}
+	b.nodeProc = append(b.nodeProc, p)
+
+	// Crossing edges: reconcile each crossing predecessor's cache, then
+	// flush ours.
+	crossed := false
+	for _, v := range preds {
+		if b.nodeProc[v] != p {
+			b.Stats.CrossEdges++
+			b.reconcile(b.nodeProc[v])
+			crossed = true
+		}
+	}
+	if crossed {
+		b.flush(p)
+	}
+
+	// The write lands in the cache first so the row reflects it.
+	if op.Kind == computation.Write {
+		b.caches[p][op.Loc] = backerLine{writer: u, dirty: true}
+	}
+
+	// Fetch every location through the cache to commit a full row.
+	row := make([]dag.Node, len(b.main))
+	for l := computation.Loc(0); int(l) < len(b.main); l++ {
+		if ln, ok := b.caches[p][l]; ok {
+			b.Stats.Hits++
+			row[l] = ln.writer
+			continue
+		}
+		b.Stats.Fetches++
+		w := b.main[l]
+		b.caches[p][l] = backerLine{writer: w}
+		row[l] = w
+	}
+	return row, nil
+}
+
+// Proc returns the processor that executed node u (in reveal order).
+func (b *Backer) Proc(u dag.Node) int { return b.nodeProc[u] }

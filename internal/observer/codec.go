@@ -1,0 +1,107 @@
+package observer
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// This file extends the computation text format with observer lines, so
+// the cmd tools can check (computation, observer) pairs from files:
+//
+//	locs x
+//	node A W(x)
+//	node B R(x)
+//	edge A B
+//	observe B x A      # Φ(x, B) = A
+//	observe B x bottom # Φ(x, B) = ⊥
+//
+// Entries not mentioned keep the canonical defaults of New: writes
+// observe themselves, everything else observes ⊥.
+
+// ParsePair reads a computation and an observer function from the
+// combined text format.
+func ParsePair(r io.Reader) (*computation.Named, *Observer, error) {
+	var compLines, obsLines []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "observe") {
+			obsLines = append(obsLines, line)
+		} else {
+			compLines = append(compLines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	named, err := computation.Parse(strings.NewReader(strings.Join(compLines, "\n")))
+	if err != nil {
+		return nil, nil, err
+	}
+	o := New(named.Comp)
+	for i, line := range obsLines {
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, nil, fmt.Errorf("observe line %d: want `observe NODE LOC WRITER`", i+1)
+		}
+		u, ok := named.NodeID[fields[1]]
+		if !ok {
+			return nil, nil, fmt.Errorf("observe line %d: unknown node %q", i+1, fields[1])
+		}
+		l, ok := named.LocID[fields[2]]
+		if !ok {
+			return nil, nil, fmt.Errorf("observe line %d: unknown location %q", i+1, fields[2])
+		}
+		var w dag.Node
+		if fields[3] == "bottom" || fields[3] == "⊥" {
+			w = Bottom
+		} else {
+			w, ok = named.NodeID[fields[3]]
+			if !ok {
+				return nil, nil, fmt.Errorf("observe line %d: unknown writer %q", i+1, fields[3])
+			}
+		}
+		o.Set(l, u, w)
+	}
+	if err := o.Validate(named.Comp); err != nil {
+		return nil, nil, err
+	}
+	return named, o, nil
+}
+
+// ParsePairString is ParsePair over a string.
+func ParsePairString(s string) (*computation.Named, *Observer, error) {
+	return ParsePair(strings.NewReader(s))
+}
+
+// FormatPair renders the computation and the observer's non-default
+// entries in the format accepted by ParsePair.
+func FormatPair(w io.Writer, named *computation.Named, o *Observer) error {
+	if err := named.Format(w); err != nil {
+		return err
+	}
+	c := named.Comp
+	def := New(c)
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		for u := dag.Node(0); int(u) < c.NumNodes(); u++ {
+			v := o.Get(l, u)
+			if v == def.Get(l, u) {
+				continue
+			}
+			target := "bottom"
+			if v != Bottom {
+				target = named.NodeName[v]
+			}
+			if _, err := fmt.Fprintf(w, "observe %s %s %s\n",
+				named.NodeName[u], named.LocName[l], target); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

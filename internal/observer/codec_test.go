@@ -1,0 +1,85 @@
+package observer
+
+import (
+	"strings"
+	"testing"
+)
+
+const pairText = `locs x
+node A W(x)
+node B R(x)
+node C R(x)
+edge A B
+edge B C
+observe B x A
+observe C x bottom
+`
+
+func TestParsePair(t *testing.T) {
+	named, o, err := ParsePairString(pairText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Get(0, named.NodeID["B"]) != named.NodeID["A"] {
+		t.Fatal("observe line not applied")
+	}
+	if o.Get(0, named.NodeID["C"]) != Bottom {
+		t.Fatal("bottom observe not applied")
+	}
+	if o.Get(0, named.NodeID["A"]) != named.NodeID["A"] {
+		t.Fatal("default self-observation lost")
+	}
+}
+
+func TestParsePairUnicodeBottom(t *testing.T) {
+	_, o, err := ParsePairString("locs x\nnode A R(x)\nobserve A x ⊥\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Get(0, 0) != Bottom {
+		t.Fatal("⊥ spelling not accepted")
+	}
+}
+
+func TestParsePairErrors(t *testing.T) {
+	cases := []string{
+		"locs x\nnode A R(x)\nobserve A x",        // short line
+		"locs x\nnode A R(x)\nobserve Z x bottom", // unknown node
+		"locs x\nnode A R(x)\nobserve A y bottom", // unknown loc
+		"locs x\nnode A R(x)\nobserve A x Z",      // unknown writer
+		"locs x\nnode A R(x)\nobserve A x A",      // invalid: read observes itself
+		"locs x\nnode A W(x)\nobserve A x bottom", // invalid: write must observe itself
+		"bogus\nobserve A x bottom",               // computation parse error
+	}
+	for _, src := range cases {
+		if _, _, err := ParsePairString(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestFormatPairRoundTrip(t *testing.T) {
+	named, o, err := ParsePairString(pairText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := FormatPair(&b, named, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Only the non-default entry appears.
+	if !strings.Contains(out, "observe B x A") {
+		t.Fatalf("missing observe line:\n%s", out)
+	}
+	if strings.Contains(out, "observe C") || strings.Contains(out, "observe A") {
+		t.Fatalf("default entries should not be emitted:\n%s", out)
+	}
+	named2, o2, err := ParsePairString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !named.Comp.Equal(named2.Comp) || !o.Equal(o2) {
+		t.Fatal("round trip changed the pair")
+	}
+}

@@ -1,0 +1,63 @@
+package observer
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// This file implements the last-writer function of Definition 13: given
+// a topological sort T of a computation, W_T(l, u) is the unique last
+// node at or before u in T that writes to l, or ⊥ if there is none.
+// Theorem 16 states that W_T is always an observer function; the tests
+// machine-check that claim.
+
+// LastWriterForLoc returns the row W_T(l, ·) as a slice indexed by node:
+// row[u] = W_T(l, u). It panics if order is not a topological sort of c.
+func LastWriterForLoc(c *computation.Computation, order []dag.Node, l computation.Loc) []dag.Node {
+	if !c.Dag().IsTopoSort(order) {
+		panic(fmt.Sprintf("observer: order %v is not a topological sort of %v", order, c))
+	}
+	row := make([]dag.Node, c.NumNodes())
+	last := Bottom
+	for _, u := range order {
+		if c.Op(u).IsWriteTo(l) {
+			last = u
+		}
+		row[u] = last
+	}
+	return row
+}
+
+// FromLastWriter returns the full last-writer observer W_T for the
+// topological sort T = order: for every location l and node u,
+// Φ(l, u) = W_T(l, u). By Theorem 16 the result is a valid observer
+// function for c, and by construction it is an SC witness (Definition 17).
+func FromLastWriter(c *computation.Computation, order []dag.Node) *Observer {
+	o := New(c)
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		row := LastWriterForLoc(c, order, l)
+		for u := range row {
+			o.set(l, dag.Node(u), row[u])
+		}
+	}
+	return o
+}
+
+// FromPerLocationSorts returns the observer assembled from one
+// topological sort per location: Φ(l, ·) = W_{T_l}(l, ·). This is the
+// shape of a location-consistency witness (Definition 18).
+func FromPerLocationSorts(c *computation.Computation, orders [][]dag.Node) *Observer {
+	if len(orders) != c.NumLocs() {
+		panic(fmt.Sprintf("observer: %d sorts for %d locations", len(orders), c.NumLocs()))
+	}
+	o := New(c)
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		row := LastWriterForLoc(c, orders[l], l)
+		for u := range row {
+			o.set(l, dag.Node(u), row[u])
+		}
+	}
+	return o
+}

@@ -1,0 +1,214 @@
+// Package observer implements observer functions, the technical device
+// the paper uses to give memory semantics (Definition 2 of Frigo &
+// Luchangco, SPAA 1998).
+//
+// For a computation C over locations L, an observer function maps each
+// (location, node) pair to the write whose value that node observes at
+// that location, or ⊥ ("no write observed", represented by dag.None).
+// Definition 2 imposes three conditions:
+//
+//	2.1  if Φ(l,u) = v ≠ ⊥ then op(v) = W(l)        (observe only writes)
+//	2.2  ¬(u ≺ Φ(l,u))                              (no observing the future)
+//	2.3  if op(u) = W(l) then Φ(l,u) = u            (writes observe themselves)
+//
+// Condition 2.2, with the convention ⊥ ≺ u for every node u, forces
+// Φ(l,⊥) = ⊥, so the ⊥ row is not stored.
+//
+// The package also implements the last-writer function W_T of a
+// topological sort T (Definition 13), which underlies the SC and LC
+// models, and exhaustive enumeration of all observer functions of a
+// computation, which powers the small-universe experiments.
+package observer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// Bottom is the ⊥ value of the paper: "no write observed".
+const Bottom = dag.None
+
+// Observer is an observer function candidate: a total assignment of
+// L × V → V ∪ {⊥}. Use Validate to check Definition 2. The zero value is
+// not useful; construct with New or FromLastWriter.
+type Observer struct {
+	numLocs int
+	n       int
+	val     []dag.Node // val[int(l)*n + int(u)]
+}
+
+// New returns the canonical minimal observer for c: every write observes
+// itself (condition 2.3) and every other entry is ⊥. This is always a
+// valid observer function.
+func New(c *computation.Computation) *Observer {
+	o := &Observer{
+		numLocs: c.NumLocs(),
+		n:       c.NumNodes(),
+		val:     make([]dag.Node, c.NumLocs()*c.NumNodes()),
+	}
+	for i := range o.val {
+		o.val[i] = Bottom
+	}
+	for u := 0; u < o.n; u++ {
+		op := c.Op(dag.Node(u))
+		if op.Kind == computation.Write {
+			o.set(op.Loc, dag.Node(u), dag.Node(u))
+		}
+	}
+	return o
+}
+
+// NumLocs returns |L|.
+func (o *Observer) NumLocs() int { return o.numLocs }
+
+// NumNodes returns |V_C|.
+func (o *Observer) NumNodes() int { return o.n }
+
+func (o *Observer) idx(l computation.Loc, u dag.Node) int {
+	if l < 0 || int(l) >= o.numLocs {
+		panic(fmt.Sprintf("observer: location %d out of range [0,%d)", l, o.numLocs))
+	}
+	if u < 0 || int(u) >= o.n {
+		panic(fmt.Sprintf("observer: node %d out of range [0,%d)", u, o.n))
+	}
+	return int(l)*o.n + int(u)
+}
+
+// Get returns Φ(l, u). For u = ⊥ it returns ⊥ (condition 2.2 forces it).
+func (o *Observer) Get(l computation.Loc, u dag.Node) dag.Node {
+	if u == Bottom {
+		return Bottom
+	}
+	return o.val[o.idx(l, u)]
+}
+
+// Set assigns Φ(l, u) = v without validity checking; run Validate after
+// building an observer by hand.
+func (o *Observer) Set(l computation.Loc, u, v dag.Node) {
+	if v != Bottom && (v < 0 || int(v) >= o.n) {
+		panic(fmt.Sprintf("observer: value %d out of range", v))
+	}
+	o.set(l, u, v)
+}
+
+func (o *Observer) set(l computation.Loc, u, v dag.Node) {
+	o.val[o.idx(l, u)] = v
+}
+
+// Validate checks Definition 2 against the computation c. The observer
+// must have been built for a computation with the same shape.
+func (o *Observer) Validate(c *computation.Computation) error {
+	if c.NumNodes() != o.n || c.NumLocs() != o.numLocs {
+		return fmt.Errorf("observer: shape mismatch (%d nodes/%d locs vs computation %d/%d)",
+			o.n, o.numLocs, c.NumNodes(), c.NumLocs())
+	}
+	cl := c.Closure()
+	for l := computation.Loc(0); int(l) < o.numLocs; l++ {
+		for u := dag.Node(0); int(u) < o.n; u++ {
+			v := o.Get(l, u)
+			if v != Bottom && !c.Op(v).IsWriteTo(l) {
+				return fmt.Errorf("observer: Φ(%d,%d) = %d is not a write to %d (violates 2.1)", l, u, v, l)
+			}
+			if cl.Precedes(u, v) {
+				return fmt.Errorf("observer: node %d strictly precedes its observed write %d at location %d (violates 2.2)", u, v, l)
+			}
+			if c.Op(u).IsWriteTo(l) && v != u {
+				return fmt.Errorf("observer: write node %d observes %d, not itself, at location %d (violates 2.3)", u, v, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (o *Observer) Clone() *Observer {
+	c := &Observer{numLocs: o.numLocs, n: o.n, val: make([]dag.Node, len(o.val))}
+	copy(c.val, o.val)
+	return c
+}
+
+// Equal reports whether two observers assign identically.
+func (o *Observer) Equal(p *Observer) bool {
+	if o.numLocs != p.numLocs || o.n != p.n {
+		return false
+	}
+	for i := range o.val {
+		if o.val[i] != p.val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string key identifying the assignment, suitable
+// for use in maps during enumeration experiments.
+func (o *Observer) Key() string {
+	var b strings.Builder
+	for _, v := range o.val {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// Restrict returns the restriction Φ|_C′ of the observer to the prefix
+// consisting of the first n node ids (the package-wide extension
+// convention: prefixes keep low ids). The second result is false if some
+// retained entry observes a node outside the prefix, in which case the
+// restriction is not an observer function for the prefix.
+func (o *Observer) Restrict(n int) (*Observer, bool) {
+	if n < 0 || n > o.n {
+		panic(fmt.Sprintf("observer: Restrict(%d) out of range [0,%d]", n, o.n))
+	}
+	r := &Observer{numLocs: o.numLocs, n: n, val: make([]dag.Node, o.numLocs*n)}
+	for l := 0; l < o.numLocs; l++ {
+		for u := 0; u < n; u++ {
+			v := o.val[l*o.n+u]
+			if v != Bottom && int(v) >= n {
+				return nil, false
+			}
+			r.val[l*n+u] = v
+		}
+	}
+	return r, true
+}
+
+// Extends reports whether o agrees with p on p's (smaller) domain, i.e.
+// o|_C = p where p is an observer for a prefix of o's computation.
+func (o *Observer) Extends(p *Observer) bool {
+	if o.numLocs != p.numLocs || o.n < p.n {
+		return false
+	}
+	for l := 0; l < o.numLocs; l++ {
+		for u := 0; u < p.n; u++ {
+			if o.val[l*o.n+u] != p.val[l*p.n+u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the observer as "Φ(l0: 0→⊥ 1→0; l1: ...)".
+func (o *Observer) String() string {
+	var b strings.Builder
+	b.WriteString("Φ(")
+	for l := 0; l < o.numLocs; l++ {
+		if l > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "l%d:", l)
+		for u := 0; u < o.n; u++ {
+			v := o.val[l*o.n+u]
+			if v == Bottom {
+				fmt.Fprintf(&b, " %d→⊥", u)
+			} else {
+				fmt.Fprintf(&b, " %d→%d", u, v)
+			}
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package observer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// chainWRW builds 0:W(0) -> 1:R(0) -> 2:W(0).
+func chainWRW() *computation.Computation {
+	c := computation.New(1)
+	a := c.AddNode(computation.W(0))
+	b := c.AddNode(computation.R(0))
+	d := c.AddNode(computation.W(0))
+	c.MustAddEdge(a, b)
+	c.MustAddEdge(b, d)
+	return c
+}
+
+// randomComputation builds a random computation for property tests.
+func randomComputation(rng *rand.Rand, maxNodes, maxLocs int) *computation.Computation {
+	n := rng.Intn(maxNodes + 1)
+	locs := 1 + rng.Intn(maxLocs)
+	g := dag.Random(rng, n, 0.35)
+	all := computation.AllOps(locs)
+	ops := make([]computation.Op, n)
+	for i := range ops {
+		ops[i] = all[rng.Intn(len(all))]
+	}
+	return computation.MustFrom(g, ops, locs)
+}
+
+func TestNewIsValid(t *testing.T) {
+	c := chainWRW()
+	o := New(c)
+	if err := o.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// Writes observe themselves, read observes bottom.
+	if o.Get(0, 0) != 0 || o.Get(0, 2) != 2 {
+		t.Fatal("writes must observe themselves")
+	}
+	if o.Get(0, 1) != Bottom {
+		t.Fatal("fresh read must observe ⊥")
+	}
+	if o.Get(0, Bottom) != Bottom {
+		t.Fatal("Φ(l,⊥) must be ⊥")
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	c := chainWRW()
+
+	// 2.1: observing a non-write.
+	o := New(c)
+	o.Set(0, 1, 1) // node 1 is a read
+	if err := o.Validate(c); err == nil || !strings.Contains(err.Error(), "2.1") {
+		t.Fatalf("2.1 violation not caught: %v", err)
+	}
+
+	// 2.2: observing the future.
+	o = New(c)
+	o.Set(0, 1, 2) // node 1 precedes write 2
+	if err := o.Validate(c); err == nil || !strings.Contains(err.Error(), "2.2") {
+		t.Fatalf("2.2 violation not caught: %v", err)
+	}
+
+	// 2.3: write not observing itself.
+	o = New(c)
+	o.Set(0, 2, 0)
+	if err := o.Validate(c); err == nil || !strings.Contains(err.Error(), "2.3") {
+		t.Fatalf("2.3 violation not caught: %v", err)
+	}
+
+	// Shape mismatch.
+	o = New(c)
+	c2 := computation.New(2)
+	if err := o.Validate(c2); err == nil {
+		t.Fatal("shape mismatch not caught")
+	}
+}
+
+func TestObservingIncomparableWriteIsLegal(t *testing.T) {
+	// Two parallel nodes: 0:W(0) || 1:R(0). The read may observe the
+	// incomparable write (this is what relaxed models permit).
+	c := computation.New(1)
+	c.AddNode(computation.W(0))
+	c.AddNode(computation.R(0))
+	o := New(c)
+	o.Set(0, 1, 0)
+	if err := o.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetPanics(t *testing.T) {
+	c := chainWRW()
+	o := New(c)
+	for i, fn := range []func(){
+		func() { o.Get(1, 0) },    // bad loc
+		func() { o.Get(0, 9) },    // bad node
+		func() { o.Set(0, 0, 9) }, // bad value
+		func() { o.Set(0, 9, 0) }, // bad node
+		func() { o.Restrict(-1) }, // bad restrict
+		func() { o.Restrict(99) }, // bad restrict
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	c := chainWRW()
+	o := New(c)
+	p := o.Clone()
+	if !o.Equal(p) {
+		t.Fatal("clone not equal")
+	}
+	p.Set(0, 1, 0)
+	if o.Equal(p) {
+		t.Fatal("clone shares storage")
+	}
+	if o.Get(0, 1) != Bottom {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	c := chainWRW()
+	o := New(c)
+	p := o.Clone()
+	p.Set(0, 1, 0)
+	if o.Key() == p.Key() {
+		t.Fatal("different observers share a key")
+	}
+	if o.Key() != o.Clone().Key() {
+		t.Fatal("equal observers have different keys")
+	}
+}
+
+func TestRestrictAndExtends(t *testing.T) {
+	c := chainWRW()
+	o := New(c)
+	o.Set(0, 1, 0)
+	r, ok := o.Restrict(2)
+	if !ok {
+		t.Fatal("restriction should exist")
+	}
+	if r.NumNodes() != 2 || r.Get(0, 1) != 0 {
+		t.Fatalf("restriction wrong: %v", r)
+	}
+	if !o.Extends(r) {
+		t.Fatal("observer must extend its restriction")
+	}
+	// Restriction fails when a value escapes the prefix: make node 0's
+	// entry point at node 2. (Invalid as an observer but Restrict is
+	// value-level.)
+	o2 := New(c)
+	o2.Set(0, 1, 2)
+	if _, ok := o2.Restrict(2); ok {
+		t.Fatal("escaping value must fail restriction")
+	}
+	// Extends with mismatched entry.
+	r2 := r.Clone()
+	r2.Set(0, 1, Bottom)
+	if o.Extends(r2) {
+		t.Fatal("Extends must compare entries")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := chainWRW()
+	o := New(c)
+	s := o.String()
+	if !strings.Contains(s, "⊥") || !strings.Contains(s, "l0") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLastWriterChain(t *testing.T) {
+	c := chainWRW()
+	order := []dag.Node{0, 1, 2}
+	row := LastWriterForLoc(c, order, 0)
+	want := []dag.Node{0, 0, 2}
+	for u := range want {
+		if row[u] != want[u] {
+			t.Fatalf("row = %v, want %v", row, want)
+		}
+	}
+}
+
+func TestLastWriterBadOrderPanics(t *testing.T) {
+	c := chainWRW()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LastWriterForLoc(c, []dag.Node{2, 1, 0}, 0)
+}
+
+// Theorem 16: the last-writer function of any topological sort is a
+// valid observer function.
+func TestTheorem16LastWriterIsObserver(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		c := randomComputation(rng, 7, 2)
+		count := 0
+		c.Dag().EachTopoSort(func(order []dag.Node) bool {
+			o := FromLastWriter(c, order)
+			if err := o.Validate(c); err != nil {
+				t.Fatalf("W_T not an observer for %v, T=%v: %v", c, order, err)
+			}
+			count++
+			return count < 10 // a few sorts per computation suffice
+		})
+	}
+}
+
+// Theorem 15 (sandwich property): if W_T(l,u) ≺_T v ≼_T u then
+// W_T(l,v) = W_T(l,u).
+func TestTheorem15Sandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		c := randomComputation(rng, 7, 2)
+		order, err := c.Dag().TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := make([]int, c.NumNodes())
+		for i, u := range order {
+			pos[u] = i
+		}
+		for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+			row := LastWriterForLoc(c, order, l)
+			for _, u := range order {
+				w := row[u]
+				if w == Bottom {
+					continue
+				}
+				for _, v := range order {
+					if pos[w] < pos[v] && pos[v] <= pos[u] && row[v] != w {
+						t.Fatalf("sandwich violated: W(%d)=%d but W(%d)=%d", u, w, v, row[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFromPerLocationSorts(t *testing.T) {
+	// Two locations, two parallel writers; different sorts per location.
+	c := computation.New(2)
+	c.AddNode(computation.W(0))
+	c.AddNode(computation.W(1))
+	c.AddNode(computation.R(0))
+	c.AddNode(computation.R(1))
+	o := FromPerLocationSorts(c, [][]dag.Node{
+		{0, 1, 2, 3},
+		{1, 0, 2, 3},
+	})
+	if err := o.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if o.Get(0, 2) != 0 || o.Get(1, 3) != 1 {
+		t.Fatal("per-location last writers wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong sort count must panic")
+			}
+		}()
+		FromPerLocationSorts(c, [][]dag.Node{{0, 1, 2, 3}})
+	}()
+}

@@ -1,0 +1,187 @@
+// Package paperfig reproduces the example computation/observer pairs of
+// Figures 2, 3 and 4 of Frigo & Luchangco (SPAA 1998) as executable
+// fixtures, plus the Dekker-style computation that separates SC from LC
+// (Section 4).
+//
+// The figures in the available text of the paper are partially garbled,
+// so the fixtures are reconstructed as the minimal four/five-node
+// witnesses with exactly the memberships the paper states:
+//
+//	Figure 2: a pair in WW and NW but not in WN or NN;
+//	Figure 3: a pair in WW and WN but not in NW or NN;
+//	Figure 4: a pair in NN on a prefix C that cannot be extended to the
+//	          full computation C′, witnessing that NN is not
+//	          constructible (unless the new node writes).
+//
+// Every claimed membership is machine-checked by the tests in this
+// package and by the lattice experiments.
+package paperfig
+
+import (
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// Fixture is a named computation/observer pair with the memberships the
+// paper claims for it.
+type Fixture struct {
+	Name      string
+	Comp      *computation.Computation
+	Obs       *observer.Observer
+	InModels  []string // names of models the pair belongs to
+	OutModels []string // names of models the pair is outside of
+}
+
+// Figure2 returns the Figure 2 witness: a pair in WW and NW but not in
+// WN or NN.
+//
+// One location. Node A writes in parallel with the chain B → C → D,
+// where B writes and C, D read:
+//
+//	A: W(x)                    Φ(A) = A
+//	B: W(x) → C: R(x) → D: R(x)
+//	           Φ(B)=B  Φ(C)=A  Φ(D)=B
+//
+// The only violating triple of Condition 20.1 is (B, C, D): B and D
+// observe B while C, between them, observes A. Its first node is a
+// write and its middle node is a read, so the triple is excused by NW
+// (middle must write) and WW, but caught by WN (first writes) and NN.
+// Operationally: D re-observes B's write after C saw the concurrent
+// write A — the "reordered reads" anomaly that motivated strengthening
+// WW-dag consistency.
+func Figure2() Fixture {
+	c := computation.New(1)
+	a := c.AddNode(computation.W(0))
+	b := c.AddNode(computation.W(0))
+	cc := c.AddNode(computation.R(0))
+	d := c.AddNode(computation.R(0))
+	c.MustAddEdge(b, cc)
+	c.MustAddEdge(cc, d)
+
+	o := observer.New(c)
+	o.Set(0, cc, a)
+	o.Set(0, d, b)
+	return Fixture{
+		Name:      "Figure2",
+		Comp:      c,
+		Obs:       o,
+		InModels:  []string{"WW", "NW"},
+		OutModels: []string{"WN", "NN", "LC", "SC"},
+	}
+}
+
+// Figure3 returns the Figure 3 witness: a pair in WW and WN but not in
+// NW or NN — the mirror image of Figure 2.
+//
+// One location. Node X writes in parallel with the chain A → B → C,
+// where A and C read and B writes:
+//
+//	X: W(x)                    Φ(X) = X
+//	A: R(x) → B: W(x) → C: R(x)
+//	Φ(A)=X    Φ(B)=B    Φ(C)=X
+//
+// The only violating triple is (A, B, C): A and C observe X while B,
+// between them, observes itself. Its first node is a read, so WN and WW
+// excuse it; its middle node is a write, so NW and NN catch it.
+// Operationally: C loses B's write after it was observed — the "lost
+// write" anomaly.
+func Figure3() Fixture {
+	c := computation.New(1)
+	x := c.AddNode(computation.W(0))
+	a := c.AddNode(computation.R(0))
+	b := c.AddNode(computation.W(0))
+	cc := c.AddNode(computation.R(0))
+	c.MustAddEdge(a, b)
+	c.MustAddEdge(b, cc)
+
+	o := observer.New(c)
+	o.Set(0, a, x)
+	o.Set(0, cc, x)
+	return Fixture{
+		Name:      "Figure3",
+		Comp:      c,
+		Obs:       o,
+		InModels:  []string{"WW", "WN"},
+		OutModels: []string{"NW", "NN", "LC", "SC"},
+	}
+}
+
+// Figure4 models the non-constructibility witness for NN. The prefix C
+// (left of the paper's dashed line) has two concurrent writes A and B,
+// each observed by a read on the *other* branch:
+//
+//	A: W(x) → C: R(x)   Φ(C) = B
+//	B: W(x) → D: R(x)   Φ(D) = A
+//
+// The pair (C, Φ) is in NN (there are no length-3 paths, so Condition
+// 20.1 is vacuous) but not in LC (any serialization of A and B makes
+// one of the two reads stale). The full computation C′ appends a node F
+// succeeding C and D. Unless F writes, Φ cannot be extended: Φ(F) = A
+// clashes on the path A ≺ C ≺ F (C observes B), Φ(F) = B clashes on
+// B ≺ D ≺ F, and Φ(F) = ⊥ clashes on ⊥ ≺ C ≺ F. Hence NN is not
+// constructible.
+type Figure4Fixture struct {
+	Prefix    *computation.Computation
+	PrefixObs *observer.Observer
+	// Extend returns the full computation C′ obtained by appending a
+	// node F labelled op with edges from C and D.
+	Extend func(op computation.Op) (*computation.Computation, dag.Node)
+}
+
+// Figure4 returns the Figure 4 fixture.
+func Figure4() Figure4Fixture {
+	c := computation.New(1)
+	a := c.AddNode(computation.W(0))
+	b := c.AddNode(computation.W(0))
+	cc := c.AddNode(computation.R(0))
+	d := c.AddNode(computation.R(0))
+	c.MustAddEdge(a, cc)
+	c.MustAddEdge(b, d)
+
+	o := observer.New(c)
+	o.Set(0, cc, b)
+	o.Set(0, d, a)
+	return Figure4Fixture{
+		Prefix:    c,
+		PrefixObs: o,
+		Extend: func(op computation.Op) (*computation.Computation, dag.Node) {
+			return c.Extend(op, []dag.Node{cc, d})
+		},
+	}
+}
+
+// Dekker returns the two-location computation that separates SC from LC
+// (Section 4): two parallel branches, each writing one location and
+// then reading the other, with both reads observing ⊥.
+//
+//	P1: W(x) → R(y)    P2: W(y) → R(x)
+//
+// Under LC each location serializes independently, so both reads may
+// miss the concurrent writes. Under SC a single serialization must put
+// one of the writes first, so at least one read must observe a write:
+// the pair is in LC but not SC.
+//
+// Because an observer function is total, each branch's second node also
+// carries a value for the location its branch wrote; the last-writer
+// semantics force it to observe that preceding write.
+func Dekker() Fixture {
+	c := computation.New(2)
+	w1 := c.AddNode(computation.W(0))
+	r1 := c.AddNode(computation.R(1))
+	w2 := c.AddNode(computation.W(1))
+	r2 := c.AddNode(computation.R(0))
+	c.MustAddEdge(w1, r1)
+	c.MustAddEdge(w2, r2)
+
+	o := observer.New(c) // both reads observe ⊥ at their own location
+	o.Set(0, r1, w1)     // r1 follows w1, so it observes w1 at x
+	o.Set(1, r2, w2)     // r2 follows w2, so it observes w2 at y
+	return Fixture{
+		Name:      "Dekker",
+		Comp:      c,
+		Obs:       o,
+		InModels:  []string{"LC", "NN", "NW", "WN", "WW"},
+		OutModels: []string{"SC"},
+	}
+}

@@ -1,0 +1,94 @@
+package paperfig
+
+import (
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// Structural sanity checks live here; the membership claims are
+// machine-checked in internal/memmodel (figure tests) and in the
+// lattice experiments. Keeping membership checks out of this package
+// avoids an import cycle.
+
+func TestFixturesValidate(t *testing.T) {
+	for _, fx := range []Fixture{Figure2(), Figure3(), Dekker()} {
+		if err := fx.Comp.Validate(); err != nil {
+			t.Errorf("%s: computation invalid: %v", fx.Name, err)
+		}
+		if err := fx.Obs.Validate(fx.Comp); err != nil {
+			t.Errorf("%s: observer invalid: %v", fx.Name, err)
+		}
+		if len(fx.InModels) == 0 || len(fx.OutModels) == 0 {
+			t.Errorf("%s: membership claims missing", fx.Name)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	fx := Figure2()
+	if fx.Comp.NumNodes() != 4 || fx.Comp.NumLocs() != 1 {
+		t.Fatalf("shape: %v", fx.Comp)
+	}
+	// A (node 0) is parallel to the chain B -> C -> D.
+	cl := fx.Comp.Closure()
+	for u := dag.Node(1); u < 4; u++ {
+		if cl.Comparable(0, u) {
+			t.Fatalf("A must be incomparable to node %d", u)
+		}
+	}
+	if fx.Obs.Get(0, 2) != 0 || fx.Obs.Get(0, 3) != 1 {
+		t.Fatal("observer values wrong")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	fx := Figure3()
+	if fx.Comp.NumNodes() != 4 {
+		t.Fatalf("shape: %v", fx.Comp)
+	}
+	if fx.Obs.Get(0, 1) != 0 || fx.Obs.Get(0, 3) != 0 || fx.Obs.Get(0, 2) != 2 {
+		t.Fatal("observer values wrong")
+	}
+}
+
+func TestFigure4ExtendShapes(t *testing.T) {
+	fx := Figure4()
+	if fx.Prefix.NumNodes() != 4 {
+		t.Fatalf("prefix: %v", fx.Prefix)
+	}
+	ext, f := fx.Extend(computation.N)
+	if ext.NumNodes() != 5 || f != 4 {
+		t.Fatalf("extension: %v", ext)
+	}
+	if !fx.Prefix.IsPrefixOfExtension(ext) {
+		t.Fatal("prefix relation broken")
+	}
+	if !ext.Dag().HasEdge(2, 4) || !ext.Dag().HasEdge(3, 4) {
+		t.Fatal("F must succeed both reads")
+	}
+	if ext.Dag().HasEdge(0, 4) {
+		t.Fatal("F must not be directly attached to the writes")
+	}
+	// Crossing observers: each read observes the other branch's write.
+	if fx.PrefixObs.Get(0, 2) != 1 || fx.PrefixObs.Get(0, 3) != 0 {
+		t.Fatal("crossing observers wrong")
+	}
+}
+
+func TestDekkerShape(t *testing.T) {
+	fx := Dekker()
+	if fx.Comp.NumLocs() != 2 || fx.Comp.NumNodes() != 4 {
+		t.Fatalf("shape: %v", fx.Comp)
+	}
+	// Each read observes ⊥ at the location the *other* branch wrote.
+	if fx.Obs.Get(1, 1) != observer.Bottom || fx.Obs.Get(0, 3) != observer.Bottom {
+		t.Fatal("Dekker reads must observe ⊥")
+	}
+	// And each branch's second node observes its own branch's write.
+	if fx.Obs.Get(0, 1) != 0 || fx.Obs.Get(1, 3) != 2 {
+		t.Fatal("own-branch observations wrong")
+	}
+}

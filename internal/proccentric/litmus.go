@@ -1,0 +1,191 @@
+package proccentric
+
+import "repro/internal/trace"
+
+// Litmus is a named program with a distinguished outcome and its
+// classification: whether the outcome is allowed under sequential
+// consistency and under location consistency (coherence). The
+// classifications are the standard ones from the memory-model
+// literature; the tests machine-check all of them against the paper's
+// computation-centric model definitions.
+type Litmus struct {
+	Name    string
+	Program Program
+	Outcome map[[2]int]trace.Value
+	AllowSC bool
+	AllowLC bool
+	Comment string
+}
+
+// StoreBuffering is SB (Dekker): both threads write their flag and then
+// read the other's, both reads returning the initial value. Forbidden
+// under SC, allowed under LC — the separation of Section 4.
+func StoreBuffering() Litmus {
+	const x, y = 0, 1
+	return Litmus{
+		Name: "SB",
+		Program: Program{
+			NumLocs: 2,
+			Threads: []Thread{
+				{Wr(x, 1), Rd(y)},
+				{Wr(y, 1), Rd(x)},
+			},
+		},
+		Outcome: map[[2]int]trace.Value{
+			{0, 1}: trace.Undefined,
+			{1, 1}: trace.Undefined,
+		},
+		AllowSC: false,
+		AllowLC: true,
+		Comment: "store buffering / Dekker: both reads miss both writes",
+	}
+}
+
+// MessagePassing is MP: a producer writes data then a flag; a consumer
+// sees the flag but stale data. Forbidden under SC, allowed under LC
+// (coherence gives no cross-location ordering).
+func MessagePassing() Litmus {
+	const data, flag = 0, 1
+	return Litmus{
+		Name: "MP",
+		Program: Program{
+			NumLocs: 2,
+			Threads: []Thread{
+				{Wr(data, 1), Wr(flag, 1)},
+				{Rd(flag), Rd(data)},
+			},
+		},
+		Outcome: map[[2]int]trace.Value{
+			{1, 0}: 1,               // flag observed
+			{1, 1}: trace.Undefined, // data stale
+		},
+		AllowSC: false,
+		AllowLC: true,
+		Comment: "message passing: flag visible before data",
+	}
+}
+
+// LoadBuffering is LB: each thread reads the location the other thread
+// writes afterwards, both reads returning the written values. Forbidden
+// under SC (the reads would have to precede their own causes), allowed
+// under LC.
+func LoadBuffering() Litmus {
+	const x, y = 0, 1
+	return Litmus{
+		Name: "LB",
+		Program: Program{
+			NumLocs: 2,
+			Threads: []Thread{
+				{Rd(y), Wr(x, 1)},
+				{Rd(x), Wr(y, 1)},
+			},
+		},
+		Outcome: map[[2]int]trace.Value{
+			{0, 0}: 1,
+			{1, 0}: 1,
+		},
+		AllowSC: false,
+		AllowLC: true,
+		Comment: "load buffering: both loads see the other thread's later store",
+	}
+}
+
+// CoherenceRR is CoRR: one thread reads the same location twice and
+// sees a write, then the initial value. Forbidden under both SC and LC
+// — this is the guarantee location consistency does give.
+func CoherenceRR() Litmus {
+	const x = 0
+	return Litmus{
+		Name: "CoRR",
+		Program: Program{
+			NumLocs: 1,
+			Threads: []Thread{
+				{Wr(x, 1)},
+				{Rd(x), Rd(x)},
+			},
+		},
+		Outcome: map[[2]int]trace.Value{
+			{1, 0}: 1,
+			{1, 1}: trace.Undefined,
+		},
+		AllowSC: false,
+		AllowLC: false,
+		Comment: "read-read coherence: a location's writes cannot un-happen",
+	}
+}
+
+// CoherenceWW is CoWW-style: two writes to one location by different
+// threads observed in opposite orders by two readers. Forbidden under
+// both SC and LC (a single serialization per location must pick one
+// order), allowed by weaker dag-consistent models.
+func CoherenceWW() Litmus {
+	const x = 0
+	return Litmus{
+		Name: "CoWW",
+		Program: Program{
+			NumLocs: 1,
+			Threads: []Thread{
+				{Wr(x, 1)},
+				{Wr(x, 2)},
+				{Rd(x), Rd(x)}, // sees 1 then 2
+				{Rd(x), Rd(x)}, // sees 2 then 1
+			},
+		},
+		Outcome: map[[2]int]trace.Value{
+			{2, 0}: 1, {2, 1}: 2,
+			{3, 0}: 2, {3, 1}: 1,
+		},
+		AllowSC: false,
+		AllowLC: false,
+		Comment: "write serialization: readers must agree on the write order per location",
+	}
+}
+
+// IRIW is independent reads of independent writes: two writers to two
+// different locations; two readers observe them in opposite orders.
+// Forbidden under SC, allowed under LC (no cross-location agreement).
+func IRIW() Litmus {
+	const x, y = 0, 1
+	return Litmus{
+		Name: "IRIW",
+		Program: Program{
+			NumLocs: 2,
+			Threads: []Thread{
+				{Wr(x, 1)},
+				{Wr(y, 1)},
+				{Rd(x), Rd(y)}, // x new, y old
+				{Rd(y), Rd(x)}, // y new, x old
+			},
+		},
+		Outcome: map[[2]int]trace.Value{
+			{2, 0}: 1, {2, 1}: trace.Undefined,
+			{3, 0}: 1, {3, 1}: trace.Undefined,
+		},
+		AllowSC: false,
+		AllowLC: true,
+		Comment: "independent reads of independent writes: readers disagree on write order across locations",
+	}
+}
+
+// SBAllowed is the store-buffering program with a benign outcome (one
+// read hits, one misses), allowed by every model considered.
+func SBAllowed() Litmus {
+	l := StoreBuffering()
+	l.Name = "SB-allowed"
+	l.Outcome = map[[2]int]trace.Value{
+		{0, 1}: 1,
+		{1, 1}: trace.Undefined,
+	}
+	l.AllowSC = true
+	l.AllowLC = true
+	l.Comment = "store buffering, benign outcome"
+	return l
+}
+
+// All returns the litmus suite.
+func All() []Litmus {
+	return []Litmus{
+		StoreBuffering(), MessagePassing(), LoadBuffering(),
+		CoherenceRR(), CoherenceWW(), IRIW(), SBAllowed(),
+	}
+}

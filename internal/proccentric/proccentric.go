@@ -1,0 +1,196 @@
+// Package proccentric bridges the paper's computation-centric world to
+// the traditional processor-centric one (Sections 1, 4 and 7): a
+// multiprocessor program is a set of per-processor instruction
+// sequences, and its computation is the dag with one chain per
+// processor and no cross-processor edges.
+//
+// On such computations the paper's SC (Definition 17) coincides with
+// Lamport's sequential consistency — "the result of any execution is
+// the same as if the operations of all the processors were executed in
+// some sequential order, and the operations of each individual
+// processor appear in this sequence in the order specified by its
+// program" — because the topological sorts of a union of chains are
+// exactly the program-order-respecting interleavings. The tests verify
+// this by brute force: enumerating interleavings and executing them
+// against a flat memory gives the same verdicts as the checker.
+//
+// The package also carries the classic litmus tests (store buffering,
+// message passing, load buffering, coherence, IRIW) with their SC/LC
+// classifications.
+package proccentric
+
+import (
+	"fmt"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/trace"
+)
+
+// Program is a processor-centric shared-memory program: per-processor
+// straight-line instruction sequences over NumLocs locations, with
+// values attached to writes.
+type Program struct {
+	NumLocs int
+	Threads []Thread
+}
+
+// Thread is one processor's instruction sequence.
+type Thread []Instr
+
+// Instr is one instruction with its value: the value stored for a
+// write; ignored for reads and no-ops.
+type Instr struct {
+	Op    computation.Op
+	Value trace.Value
+}
+
+// Wr returns a write instruction storing v.
+func Wr(l computation.Loc, v trace.Value) Instr {
+	return Instr{Op: computation.W(l), Value: v}
+}
+
+// Rd returns a read instruction.
+func Rd(l computation.Loc) Instr { return Instr{Op: computation.R(l)} }
+
+// Computation converts the program to its computation: one chain per
+// thread. The returned index maps [thread][position] to the node id.
+func (p Program) Computation() (*computation.Computation, [][]dag.Node) {
+	c := computation.New(p.NumLocs)
+	index := make([][]dag.Node, len(p.Threads))
+	for t, th := range p.Threads {
+		index[t] = make([]dag.Node, len(th))
+		var prev dag.Node = dag.None
+		for i, ins := range th {
+			u := c.AddNode(ins.Op)
+			index[t][i] = u
+			if prev != dag.None {
+				c.MustAddEdge(prev, u)
+			}
+			prev = u
+		}
+	}
+	return c, index
+}
+
+// Trace builds the execution trace for the program with the given read
+// outcomes: readVals[t][i] is the value returned by the i-th
+// instruction of thread t when it is a read (other entries ignored).
+// Use trace.Undefined for a read of uninitialized memory.
+func (p Program) Trace(readVals map[[2]int]trace.Value) (*trace.Trace, error) {
+	c, index := p.Computation()
+	tr := trace.New(c)
+	for t, th := range p.Threads {
+		for i, ins := range th {
+			u := index[t][i]
+			switch ins.Op.Kind {
+			case computation.Write:
+				if ins.Value == trace.Undefined {
+					return nil, fmt.Errorf("proccentric: thread %d op %d writes Undefined", t, i)
+				}
+				tr.WriteVal[u] = ins.Value
+			case computation.Read:
+				v, ok := readVals[[2]int{t, i}]
+				if !ok {
+					return nil, fmt.Errorf("proccentric: no outcome for read at thread %d op %d", t, i)
+				}
+				tr.ReadVal[u] = v
+			}
+		}
+	}
+	return tr, nil
+}
+
+// EachInterleaving enumerates every program-order-respecting
+// interleaving of the program's instructions, executing each against a
+// flat last-value memory and reporting the read outcomes. This is
+// Lamport's semantics by direct simulation; fn receives the outcome
+// map (keyed by [thread, position]) and may return false to stop.
+// Returns the number of interleavings visited.
+func (p Program) EachInterleaving(fn func(outcome map[[2]int]trace.Value) bool) int {
+	pos := make([]int, len(p.Threads))
+	mem := make([]trace.Value, p.NumLocs)
+	init := make([]bool, p.NumLocs)
+	outcome := make(map[[2]int]trace.Value)
+	visited := 0
+	stopped := false
+
+	var rec func()
+	rec = func() {
+		if stopped {
+			return
+		}
+		done := true
+		for t := range p.Threads {
+			if pos[t] < len(p.Threads[t]) {
+				done = false
+				break
+			}
+		}
+		if done {
+			visited++
+			if !fn(outcome) {
+				stopped = true
+			}
+			return
+		}
+		for t := range p.Threads {
+			i := pos[t]
+			if i >= len(p.Threads[t]) {
+				continue
+			}
+			ins := p.Threads[t][i]
+			var savedVal trace.Value
+			var savedInit bool
+			var savedOut trace.Value
+			var hadOut bool
+			key := [2]int{t, i}
+			switch ins.Op.Kind {
+			case computation.Write:
+				savedVal, savedInit = mem[ins.Op.Loc], init[ins.Op.Loc]
+				mem[ins.Op.Loc], init[ins.Op.Loc] = ins.Value, true
+			case computation.Read:
+				savedOut, hadOut = outcome[key]
+				if init[ins.Op.Loc] {
+					outcome[key] = mem[ins.Op.Loc]
+				} else {
+					outcome[key] = trace.Undefined
+				}
+			}
+			pos[t]++
+			rec()
+			pos[t]--
+			switch ins.Op.Kind {
+			case computation.Write:
+				mem[ins.Op.Loc], init[ins.Op.Loc] = savedVal, savedInit
+			case computation.Read:
+				if hadOut {
+					outcome[key] = savedOut
+				} else {
+					delete(outcome, key)
+				}
+			}
+			if stopped {
+				return
+			}
+		}
+	}
+	rec()
+	return visited
+}
+
+// LamportAllows reports whether some interleaving produces exactly the
+// given read outcomes — sequential consistency by direct simulation.
+func (p Program) LamportAllows(readVals map[[2]int]trace.Value) bool {
+	allowed := false
+	p.EachInterleaving(func(outcome map[[2]int]trace.Value) bool {
+		for k, v := range readVals {
+			if outcome[k] != v {
+				return true // keep searching
+			}
+		}
+		allowed = true
+		return false
+	})
+	return allowed
+}

@@ -1,0 +1,324 @@
+// Package sched simulates the execution of computations on a
+// P-processor machine: greedy list scheduling and randomized work
+// stealing, in discrete time. The paper's computations come from
+// multithreaded programs scheduled this way (Cilk, Section 1); the
+// BACKER experiments ([BFJ+96a/b], Sections 6–7) measure T_P against
+// the work/span bound T_1/P + O(T_∞), which the benchmark harness
+// regenerates on this simulator.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// Tick is a unit of simulated time.
+type Tick int64
+
+// CostFunc gives each node a positive duration. Nil means unit cost.
+type CostFunc func(u dag.Node) Tick
+
+// UnitCost assigns every node one tick.
+func UnitCost(dag.Node) Tick { return 1 }
+
+// Schedule is the result of simulating a computation on P processors:
+// a processor assignment, start/finish times, and the global completion
+// order (a topological sort of the computation).
+type Schedule struct {
+	Comp     *computation.Computation
+	P        int
+	Proc     []int  // node -> processor
+	Start    []Tick // node -> start time
+	Finish   []Tick // node -> finish time
+	Order    []dag.Node
+	Makespan Tick
+	Steals   int // work-stealing only
+}
+
+// Validate checks that the schedule respects dependencies, processor
+// exclusivity and the declared completion order.
+func (s *Schedule) Validate() error {
+	n := s.Comp.NumNodes()
+	if len(s.Proc) != n || len(s.Start) != n || len(s.Finish) != n || len(s.Order) != n {
+		return fmt.Errorf("sched: shape mismatch")
+	}
+	if !s.Comp.Dag().IsTopoSort(s.Order) && n > 0 {
+		return fmt.Errorf("sched: completion order is not a topological sort")
+	}
+	for u := 0; u < n; u++ {
+		if s.Proc[u] < 0 || s.Proc[u] >= s.P {
+			return fmt.Errorf("sched: node %d on processor %d of %d", u, s.Proc[u], s.P)
+		}
+		if s.Start[u] >= s.Finish[u] {
+			return fmt.Errorf("sched: node %d has empty duration", u)
+		}
+		for _, p := range s.Comp.Dag().Preds(dag.Node(u)) {
+			if s.Finish[p] > s.Start[u] {
+				return fmt.Errorf("sched: node %d starts before predecessor %d finishes", u, p)
+			}
+		}
+		if s.Finish[u] > s.Makespan {
+			return fmt.Errorf("sched: node %d finishes after makespan", u)
+		}
+	}
+	// Processor exclusivity: nodes on one processor must not overlap.
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if s.Proc[u] != s.Proc[v] {
+				continue
+			}
+			if s.Start[u] < s.Finish[v] && s.Start[v] < s.Finish[u] {
+				return fmt.Errorf("sched: nodes %d and %d overlap on processor %d", u, v, s.Proc[u])
+			}
+		}
+	}
+	return nil
+}
+
+// Work returns T_1: the total cost of all nodes.
+func Work(c *computation.Computation, cost CostFunc) Tick {
+	if cost == nil {
+		cost = UnitCost
+	}
+	var total Tick
+	for u := 0; u < c.NumNodes(); u++ {
+		total += cost(dag.Node(u))
+	}
+	return total
+}
+
+// Span returns T_∞: the weight of the heaviest path (critical path).
+func Span(c *computation.Computation, cost CostFunc) Tick {
+	if cost == nil {
+		cost = UnitCost
+	}
+	order, err := c.Dag().TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	depth := make([]Tick, c.NumNodes())
+	var best Tick
+	for _, u := range order {
+		d := Tick(0)
+		for _, p := range c.Dag().Preds(u) {
+			if depth[p] > d {
+				d = depth[p]
+			}
+		}
+		depth[u] = d + cost(u)
+		if depth[u] > best {
+			best = depth[u]
+		}
+	}
+	return best
+}
+
+// ListSchedule runs greedy (Graham) list scheduling on P processors:
+// at every instant each idle processor takes the ready node with the
+// smallest id. Deterministic. Achieves T_P ≤ T_1/P + T_∞.
+func ListSchedule(c *computation.Computation, P int, cost CostFunc) *Schedule {
+	if P < 1 {
+		panic(fmt.Sprintf("sched: need at least one processor, got %d", P))
+	}
+	if cost == nil {
+		cost = UnitCost
+	}
+	n := c.NumNodes()
+	s := &Schedule{
+		Comp:   c,
+		P:      P,
+		Proc:   make([]int, n),
+		Start:  make([]Tick, n),
+		Finish: make([]Tick, n),
+		Order:  make([]dag.Node, 0, n),
+	}
+	indeg := make([]int, n)
+	var ready nodeQueue
+	for u := 0; u < n; u++ {
+		indeg[u] = c.Dag().InDegree(dag.Node(u))
+		if indeg[u] == 0 {
+			ready.push(dag.Node(u))
+		}
+	}
+	type running struct {
+		node dag.Node
+		done Tick
+	}
+	var active []running
+	procFree := make([]Tick, P)
+	now := Tick(0)
+	completed := 0
+
+	for completed < n {
+		// Dispatch ready nodes onto processors idle at `now`.
+		for p := 0; p < P && ready.len() > 0; p++ {
+			if procFree[p] > now {
+				continue
+			}
+			u := ready.pop()
+			s.Proc[u] = p
+			s.Start[u] = now
+			s.Finish[u] = now + cost(u)
+			procFree[p] = s.Finish[u]
+			active = append(active, running{u, s.Finish[u]})
+		}
+		if len(active) == 0 {
+			panic("sched: deadlock (cyclic computation?)")
+		}
+		// Advance to the earliest completion.
+		next := active[0].done
+		for _, r := range active[1:] {
+			if r.done < next {
+				next = r.done
+			}
+		}
+		now = next
+		// Retire completions in deterministic (node id) order.
+		var still []running
+		var retired []dag.Node
+		for _, r := range active {
+			if r.done == now {
+				retired = append(retired, r.node)
+			} else {
+				still = append(still, r)
+			}
+		}
+		active = still
+		sortNodes(retired)
+		for _, u := range retired {
+			s.Order = append(s.Order, u)
+			completed++
+			for _, v := range c.Dag().Succs(u) {
+				indeg[v]--
+				if indeg[v] == 0 {
+					ready.push(v)
+				}
+			}
+		}
+	}
+	s.Makespan = now
+	return s
+}
+
+// WorkStealing simulates randomized work stealing with unit-time steps:
+// each worker owns a deque of ready nodes, pushes newly enabled work to
+// the bottom, and when idle steals from the top of a uniformly random
+// victim. Nodes take cost(u) consecutive ticks on their worker.
+// The returned schedule counts successful steals.
+func WorkStealing(c *computation.Computation, P int, cost CostFunc, rng *rand.Rand) *Schedule {
+	if P < 1 {
+		panic(fmt.Sprintf("sched: need at least one processor, got %d", P))
+	}
+	if cost == nil {
+		cost = UnitCost
+	}
+	n := c.NumNodes()
+	s := &Schedule{
+		Comp:   c,
+		P:      P,
+		Proc:   make([]int, n),
+		Start:  make([]Tick, n),
+		Finish: make([]Tick, n),
+		Order:  make([]dag.Node, 0, n),
+	}
+	indeg := make([]int, n)
+	deques := make([][]dag.Node, P)
+	for u := 0; u < n; u++ {
+		indeg[u] = c.Dag().InDegree(dag.Node(u))
+		if indeg[u] == 0 {
+			// Seed initial work round-robin across workers.
+			w := u % P
+			deques[w] = append(deques[w], dag.Node(u))
+		}
+	}
+	type slot struct {
+		node dag.Node
+		left Tick
+	}
+	current := make([]slot, P)
+	for p := range current {
+		current[p] = slot{node: dag.None}
+	}
+	completed := 0
+	now := Tick(0)
+
+	for completed < n {
+		// Phase 1: workers with an empty hand take local work, then
+		// steal. Steal targets are decided against the deque state at
+		// the start of the tick, processed in worker order.
+		for p := 0; p < P; p++ {
+			if current[p].node != dag.None {
+				continue
+			}
+			if len(deques[p]) > 0 {
+				// Pop own bottom.
+				u := deques[p][len(deques[p])-1]
+				deques[p] = deques[p][:len(deques[p])-1]
+				current[p] = slot{u, cost(u)}
+				s.Proc[u] = p
+				s.Start[u] = now
+				continue
+			}
+			// Steal attempt from one random victim.
+			victim := rng.Intn(P)
+			if victim == p || len(deques[victim]) == 0 {
+				continue
+			}
+			u := deques[victim][0]
+			deques[victim] = deques[victim][1:]
+			current[p] = slot{u, cost(u)}
+			s.Proc[u] = p
+			s.Start[u] = now
+			s.Steals++
+		}
+		// Phase 2: one tick of progress.
+		now++
+		var retired []dag.Node
+		for p := 0; p < P; p++ {
+			if current[p].node == dag.None {
+				continue
+			}
+			current[p].left--
+			if current[p].left == 0 {
+				retired = append(retired, current[p].node)
+				current[p] = slot{node: dag.None}
+			}
+		}
+		sortNodes(retired)
+		for _, u := range retired {
+			s.Finish[u] = now
+			s.Order = append(s.Order, u)
+			completed++
+			for _, v := range c.Dag().Succs(u) {
+				indeg[v]--
+				if indeg[v] == 0 {
+					deques[s.Proc[u]] = append(deques[s.Proc[u]], v)
+				}
+			}
+		}
+	}
+	s.Makespan = now
+	return s
+}
+
+// nodeQueue is a FIFO of nodes.
+type nodeQueue struct{ a []dag.Node }
+
+func (q *nodeQueue) len() int        { return len(q.a) }
+func (q *nodeQueue) push(u dag.Node) { q.a = append(q.a, u) }
+func (q *nodeQueue) pop() dag.Node {
+	u := q.a[0]
+	q.a = q.a[1:]
+	return u
+}
+
+func sortNodes(a []dag.Node) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

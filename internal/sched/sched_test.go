@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// fromDag labels every node of g as a no-op over one location.
+func fromDag(g *dag.Dag) *computation.Computation {
+	ops := make([]computation.Op, g.NumNodes())
+	for i := range ops {
+		ops[i] = computation.N
+	}
+	return computation.MustFrom(g, ops, 1)
+}
+
+func TestWorkAndSpan(t *testing.T) {
+	c := fromDag(dag.Diamond())
+	if Work(c, nil) != 4 {
+		t.Fatalf("T1 = %d", Work(c, nil))
+	}
+	if Span(c, nil) != 3 {
+		t.Fatalf("Tinf = %d", Span(c, nil))
+	}
+	cost := func(u dag.Node) Tick { return Tick(u) + 1 }
+	if Work(c, cost) != 1+2+3+4 {
+		t.Fatalf("weighted T1 = %d", Work(c, cost))
+	}
+	// Heaviest path 0 -> 2 -> 3 = 1 + 3 + 4 = 8.
+	if Span(c, cost) != 8 {
+		t.Fatalf("weighted Tinf = %d", Span(c, cost))
+	}
+	if Span(fromDag(dag.Antichain(5)), nil) != 1 {
+		t.Fatal("antichain span wrong")
+	}
+}
+
+func TestListScheduleSingleProcessor(t *testing.T) {
+	c := fromDag(dag.Diamond())
+	s := ListSchedule(c, 1, nil)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != Work(c, nil) {
+		t.Fatalf("P=1 makespan = %d, want T1 = %d", s.Makespan, Work(c, nil))
+	}
+}
+
+func TestListScheduleParallelism(t *testing.T) {
+	// A wide antichain finishes in ceil(n/P) on P processors.
+	c := fromDag(dag.Antichain(10))
+	s := ListSchedule(c, 4, nil)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 3 {
+		t.Fatalf("makespan = %d, want 3", s.Makespan)
+	}
+}
+
+func TestListScheduleGrahamBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		c := fromDag(dag.Random(rng, 3+rng.Intn(25), 0.2))
+		for _, P := range []int{1, 2, 4, 8} {
+			s := ListSchedule(c, P, nil)
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			t1, tinf := Work(c, nil), Span(c, nil)
+			bound := Tick(int64(t1)/int64(P)) + tinf
+			if int64(t1)%int64(P) != 0 {
+				bound++
+			}
+			if s.Makespan > bound {
+				t.Fatalf("P=%d: makespan %d exceeds Graham bound %d (T1=%d Tinf=%d)",
+					P, s.Makespan, bound, t1, tinf)
+			}
+			if s.Makespan < tinf || int64(s.Makespan)*int64(P) < int64(t1) {
+				t.Fatalf("P=%d: makespan %d below lower bounds (T1=%d Tinf=%d)",
+					P, s.Makespan, t1, tinf)
+			}
+		}
+	}
+}
+
+func TestWorkStealingValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		c := fromDag(dag.Random(rng, 2+rng.Intn(20), 0.25))
+		for _, P := range []int{1, 2, 5} {
+			s := WorkStealing(c, P, nil, rng)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("P=%d: %v\n%v", P, err, c)
+			}
+			if s.Makespan < Span(c, nil) {
+				t.Fatalf("makespan below span")
+			}
+		}
+	}
+}
+
+func TestWorkStealingSingleProcNoSteals(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := fromDag(dag.Chain(10))
+	s := WorkStealing(c, 1, nil, rng)
+	if s.Steals != 0 {
+		t.Fatalf("steals = %d on one processor", s.Steals)
+	}
+	if s.Makespan != 10 {
+		t.Fatalf("makespan = %d", s.Makespan)
+	}
+}
+
+func TestWorkStealingSpeedsUp(t *testing.T) {
+	// A spawn tree has parallelism; 4 workers must beat 1 worker.
+	rng := rand.New(rand.NewSource(5))
+	c := fromDag(dag.SpawnTree(7))
+	s1 := WorkStealing(c, 1, nil, rng)
+	s4 := WorkStealing(c, 4, nil, rng)
+	if s4.Makespan >= s1.Makespan {
+		t.Fatalf("no speedup: P=1 %d vs P=4 %d", s1.Makespan, s4.Makespan)
+	}
+	if s4.Steals == 0 {
+		t.Fatal("parallel execution of a tree must steal")
+	}
+}
+
+func TestScheduleValidateCatches(t *testing.T) {
+	c := fromDag(dag.Chain(2))
+	s := ListSchedule(c, 1, nil)
+	bad := *s
+	bad.Proc = []int{0, 5}
+	if bad.Validate() == nil {
+		t.Fatal("bad processor accepted")
+	}
+	bad2 := *s
+	bad2.Start = []Tick{1, 0}
+	bad2.Finish = []Tick{2, 1}
+	if bad2.Validate() == nil {
+		t.Fatal("dependency violation accepted")
+	}
+	bad3 := *s
+	bad3.Order = []dag.Node{1, 0}
+	if bad3.Validate() == nil {
+		t.Fatal("non-topological order accepted")
+	}
+}
+
+func TestBadProcessorCountPanics(t *testing.T) {
+	c := fromDag(dag.Chain(2))
+	for i, fn := range []func(){
+		func() { ListSchedule(c, 0, nil) },
+		func() { WorkStealing(c, 0, nil, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: both schedulers produce valid schedules with makespan
+// between max(Tinf, ceil(T1/P)) and T1 for random weighted dags.
+func TestQuickSchedulesValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		c := fromDag(dag.Random(rng, n, 0.3))
+		cost := func(u dag.Node) Tick { return Tick(1 + (int(u)*7)%3) }
+		P := 1 + rng.Intn(4)
+		for _, s := range []*Schedule{
+			ListSchedule(c, P, cost),
+			WorkStealing(c, P, cost, rng),
+		} {
+			if s.Validate() != nil {
+				return false
+			}
+			if s.Makespan < Span(c, cost) || s.Makespan > Work(c, cost)+Tick(n) {
+				// Work stealing may idle briefly; allow +n slack ticks.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !almost(s.Mean, 2.5) || !almost(s.Median, 2.5) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Min, 1) || !almost(s.Max, 4) {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of 1,2,3,4 = sqrt(5/3).
+	if !almost(s.Std, math.Sqrt(5.0/3.0)) {
+		t.Fatalf("std = %v", s.Std)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if !almost(odd.Median, 3) {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.Median != 7 {
+		t.Fatalf("single = %+v", single)
+	}
+	if !strings.Contains(s.String(), "mean=") {
+		t.Fatal("String rendering")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := LinearFit(x, y)
+	if !almost(slope, 2) || !almost(intercept, 1) || !almost(r2, 1) {
+		t.Fatalf("fit = %v, %v, %v", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	slope, intercept, r2 := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !almost(slope, 0) || !almost(intercept, 5) || !almost(r2, 1) {
+		t.Fatalf("fit = %v, %v, %v", slope, intercept, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { LinearFit([]float64{1}, []float64{1}) },
+		func() { LinearFit([]float64{1, 2}, []float64{1}) },
+		func() { LinearFit([]float64{2, 2}, []float64{1, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: fitting y = a·x + b + noise recovers a and b approximately,
+// and R² of noiseless data is 1.
+func TestQuickLinearFitRecovers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*10 - 5
+		b := rng.Float64()*10 - 5
+		var x, y []float64
+		for i := 0; i < 50; i++ {
+			xi := float64(i)
+			x = append(x, xi)
+			y = append(y, a*xi+b)
+		}
+		slope, intercept, r2 := LinearFit(x, y)
+		return math.Abs(slope-a) < 1e-6 && math.Abs(intercept-b) < 1e-6 && r2 > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max] and shifting the sample shifts
+// the mean.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		shifted := make([]float64, n)
+		for i := range xs {
+			shifted[i] = xs[i] + 100
+		}
+		s2 := Summarize(shifted)
+		return math.Abs(s2.Mean-s.Mean-100) < 1e-9 && math.Abs(s2.Std-s.Std) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

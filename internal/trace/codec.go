@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// This file implements a text format for executed traces, extending the
+// computation format with values, so post-mortem verification can be
+// driven from files (cmd/verify):
+//
+//	locs x y
+//	node A W(x) = 1
+//	node B R(y) = ?        # read returned Undefined
+//	node C R(x) = 1
+//	edge A B
+//	edge B C
+//
+// Writes carry the stored value after "="; reads carry the returned
+// value, with "?" (or "⊥") for Undefined. No-ops carry no value.
+
+// NamedTrace couples a trace with the symbol tables of its text form.
+type NamedTrace struct {
+	Named *computation.Named
+	Trace *Trace
+}
+
+// ParseTrace reads the trace text format.
+func ParseTrace(r io.Reader) (*NamedTrace, error) {
+	var compLines []string
+	type valued struct {
+		node string
+		val  string
+		line int
+	}
+	var values []valued
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "node ") {
+			compLines = append(compLines, line)
+			continue
+		}
+		// node NAME OP [= VALUE]
+		fields := strings.Fields(line)
+		eq := -1
+		for i, f := range fields {
+			if f == "=" {
+				eq = i
+				break
+			}
+		}
+		if eq == -1 {
+			compLines = append(compLines, line)
+			continue
+		}
+		if eq != 3 || len(fields) != 5 {
+			return nil, fmt.Errorf("line %d: want `node NAME OP = VALUE`", lineNo)
+		}
+		compLines = append(compLines, strings.Join(fields[:3], " "))
+		values = append(values, valued{node: fields[1], val: fields[4], line: lineNo})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	named, err := computation.Parse(strings.NewReader(strings.Join(compLines, "\n")))
+	if err != nil {
+		return nil, err
+	}
+	tr := New(named.Comp)
+	for _, v := range values {
+		u, ok := named.NodeID[v.node]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown node %q", v.line, v.node)
+		}
+		op := named.Comp.Op(u)
+		var val Value
+		if v.val == "?" || v.val == "⊥" {
+			val = Undefined
+		} else {
+			n, err := strconv.ParseInt(v.val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad value %q", v.line, v.val)
+			}
+			val = Value(n)
+		}
+		switch op.Kind {
+		case computation.Write:
+			tr.WriteVal[u] = val
+		case computation.Read:
+			tr.ReadVal[u] = val
+		default:
+			return nil, fmt.Errorf("line %d: no-op node %q cannot carry a value", v.line, v.node)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &NamedTrace{Named: named, Trace: tr}, nil
+}
+
+// ParseTraceString is ParseTrace over a string.
+func ParseTraceString(s string) (*NamedTrace, error) {
+	return ParseTrace(strings.NewReader(s))
+}
+
+// Format writes the trace in the format accepted by ParseTrace.
+func (nt *NamedTrace) Format(w io.Writer) error {
+	named, tr := nt.Named, nt.Trace
+	c := named.Comp
+	if len(named.LocName) > 0 {
+		if _, err := fmt.Fprintf(w, "locs %s\n", strings.Join(named.LocName, " ")); err != nil {
+			return err
+		}
+	}
+	for u, name := range named.NodeName {
+		op := c.Op(dag.Node(u))
+		var opStr string
+		if op.Kind == computation.Noop {
+			opStr = "N"
+		} else {
+			opStr = fmt.Sprintf("%s(%s)", op.Kind, named.LocName[op.Loc])
+		}
+		switch op.Kind {
+		case computation.Write:
+			if _, err := fmt.Fprintf(w, "node %s %s = %d\n", name, opStr, tr.WriteVal[u]); err != nil {
+				return err
+			}
+		case computation.Read:
+			val := "?"
+			if tr.ReadVal[u] != Undefined {
+				val = strconv.FormatInt(int64(tr.ReadVal[u]), 10)
+			}
+			if _, err := fmt.Fprintf(w, "node %s %s = %s\n", name, opStr, val); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "node %s %s\n", name, opStr); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range c.Dag().Edges() {
+		if _, err := fmt.Fprintf(w, "edge %s %s\n", named.NodeName[e[0]], named.NodeName[e[1]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const mpTrace = `# message passing, stale data
+locs data flag
+node Wd W(data) = 1
+node Wf W(flag) = 1
+node Rf R(flag) = 1
+node Rd R(data) = ?
+edge Wd Wf
+edge Rf Rd
+`
+
+func TestParseTrace(t *testing.T) {
+	nt, err := ParseTraceString(mpTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := nt.Trace
+	if tr.Comp.NumNodes() != 4 || tr.Comp.NumLocs() != 2 {
+		t.Fatalf("shape: %v", tr.Comp)
+	}
+	if tr.WriteVal[0] != 1 || tr.WriteVal[1] != 1 {
+		t.Fatal("write values wrong")
+	}
+	if tr.ReadVal[2] != 1 || tr.ReadVal[3] != Undefined {
+		t.Fatal("read values wrong")
+	}
+}
+
+func TestParseTraceBottomSpelling(t *testing.T) {
+	nt, err := ParseTraceString("locs x\nnode R R(x) = ⊥\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Trace.ReadVal[0] != Undefined {
+		t.Fatal("⊥ not parsed")
+	}
+}
+
+func TestParseTraceNodeWithoutValue(t *testing.T) {
+	nt, err := ParseTraceString("locs x\nnode A W(x)\nnode B N\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Trace.WriteVal[0] != 0 {
+		t.Fatal("default write value wrong")
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"locs x\nnode A W(x) = abc",     // bad value
+		"locs x\nnode A N = 3",          // value on a no-op
+		"locs x\nnode A W(x) = 1 extra", // malformed
+		"locs x\nnode A W(x) =",         // malformed
+		"bogus",                         // computation error
+	}
+	for _, src := range cases {
+		if _, err := ParseTraceString(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	nt, err := ParseTraceString(mpTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := nt.Format(&b); err != nil {
+		t.Fatal(err)
+	}
+	nt2, err := ParseTraceString(b.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, b.String())
+	}
+	if !nt.Trace.Comp.Equal(nt2.Trace.Comp) {
+		t.Fatal("round trip changed computation")
+	}
+	for u := range nt.Trace.ReadVal {
+		if nt.Trace.ReadVal[u] != nt2.Trace.ReadVal[u] || nt.Trace.WriteVal[u] != nt2.Trace.WriteVal[u] {
+			t.Fatal("round trip changed values")
+		}
+	}
+}

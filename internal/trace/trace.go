@@ -1,0 +1,152 @@
+// Package trace represents executions of computations with concrete
+// memory values, the raw material of post-mortem analysis (Section 1 of
+// the paper, citing [GK94]): after a system has finished executing, its
+// behavior is a computation plus the values each read received, and
+// verification asks whether some observer function in a given memory
+// model explains those values.
+//
+// The paper abstracts values away through the observer function; this
+// package is the bridge back: a Trace fixes the value each write stores
+// and the value each read returns, and induces, for every read, the set
+// of writes that could have been observed.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// Value is a concrete memory value.
+type Value int64
+
+// Undefined is the value returned by a read that observed no write
+// (Φ(l, u) = ⊥). Writes must not store it.
+const Undefined Value = math.MinInt64
+
+// Trace is an executed computation: the value stored by each write and
+// the value returned by each read. Entries for nodes of other kinds are
+// ignored.
+type Trace struct {
+	Comp     *computation.Computation
+	WriteVal []Value // indexed by node id; meaningful for writes
+	ReadVal  []Value // indexed by node id; meaningful for reads
+}
+
+// New returns a trace skeleton for c with all values zero.
+func New(c *computation.Computation) *Trace {
+	return &Trace{
+		Comp:     c,
+		WriteVal: make([]Value, c.NumNodes()),
+		ReadVal:  make([]Value, c.NumNodes()),
+	}
+}
+
+// Validate checks shape and that no write stores Undefined.
+func (t *Trace) Validate() error {
+	n := t.Comp.NumNodes()
+	if len(t.WriteVal) != n || len(t.ReadVal) != n {
+		return fmt.Errorf("trace: value slices sized %d/%d for %d nodes", len(t.WriteVal), len(t.ReadVal), n)
+	}
+	for u := 0; u < n; u++ {
+		if t.Comp.Op(dag.Node(u)).Kind == computation.Write && t.WriteVal[u] == Undefined {
+			return fmt.Errorf("trace: write node %d stores Undefined", u)
+		}
+	}
+	return nil
+}
+
+// UniqueWrites assigns every write a distinct value (its node id plus
+// one, so zero never collides). Distinct write values make post-mortem
+// verification exact: each read's candidate set is determined by value
+// equality alone.
+func (t *Trace) UniqueWrites() *Trace {
+	for u := 0; u < t.Comp.NumNodes(); u++ {
+		if t.Comp.Op(dag.Node(u)).Kind == computation.Write {
+			t.WriteVal[u] = Value(u) + 1
+		}
+	}
+	return t
+}
+
+// FromObserver derives the trace an execution with observer function o
+// would produce: each read returns the value stored by the write it
+// observes, or Undefined for ⊥. Write values must be set beforehand
+// (e.g. via UniqueWrites on the returned trace's skeleton); this
+// convenience constructor assigns unique write values first.
+func FromObserver(c *computation.Computation, o *observer.Observer) *Trace {
+	t := New(c).UniqueWrites()
+	for u := 0; u < c.NumNodes(); u++ {
+		op := c.Op(dag.Node(u))
+		if op.Kind != computation.Read {
+			continue
+		}
+		w := o.Get(op.Loc, dag.Node(u))
+		if w == observer.Bottom {
+			t.ReadVal[u] = Undefined
+		} else {
+			t.ReadVal[u] = t.WriteVal[w]
+		}
+	}
+	return t
+}
+
+// Candidates returns, for the read node u, the observer values
+// compatible with the trace: every write to u's location whose stored
+// value equals the read value and that does not strictly follow u,
+// plus ⊥ when the read value is Undefined. Panics if u is not a read.
+func (t *Trace) Candidates(u dag.Node) []dag.Node {
+	op := t.Comp.Op(u)
+	if op.Kind != computation.Read {
+		panic(fmt.Sprintf("trace: node %d is not a read", u))
+	}
+	cl := t.Comp.Closure()
+	var out []dag.Node
+	if t.ReadVal[u] == Undefined {
+		out = append(out, observer.Bottom)
+	}
+	for _, w := range t.Comp.Writers(op.Loc) {
+		if t.WriteVal[w] == t.ReadVal[u] && !cl.Precedes(u, w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Explainable reports whether every read has at least one candidate —
+// a necessary condition for any model to explain the trace.
+func (t *Trace) Explainable() bool {
+	for u := 0; u < t.Comp.NumNodes(); u++ {
+		if t.Comp.Op(dag.Node(u)).Kind != computation.Read {
+			continue
+		}
+		if len(t.Candidates(dag.Node(u))) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the trace compactly.
+func (t *Trace) String() string {
+	s := "trace("
+	for u := 0; u < t.Comp.NumNodes(); u++ {
+		op := t.Comp.Op(dag.Node(u))
+		switch op.Kind {
+		case computation.Write:
+			s += fmt.Sprintf(" %d:%s=%d", u, op, t.WriteVal[u])
+		case computation.Read:
+			if t.ReadVal[u] == Undefined {
+				s += fmt.Sprintf(" %d:%s=⊥", u, op)
+			} else {
+				s += fmt.Sprintf(" %d:%s=%d", u, op, t.ReadVal[u])
+			}
+		default:
+			s += fmt.Sprintf(" %d:N", u)
+		}
+	}
+	return s + " )"
+}

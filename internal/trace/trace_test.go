@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+func chainWRW() *computation.Computation {
+	c := computation.New(1)
+	a := c.AddNode(computation.W(0))
+	b := c.AddNode(computation.R(0))
+	d := c.AddNode(computation.W(0))
+	c.MustAddEdge(a, b)
+	c.MustAddEdge(b, d)
+	return c
+}
+
+func TestNewAndValidate(t *testing.T) {
+	c := chainWRW()
+	tr := New(c)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.WriteVal[0] = Undefined
+	if err := tr.Validate(); err == nil {
+		t.Fatal("write of Undefined accepted")
+	}
+	bad := &Trace{Comp: c, WriteVal: make([]Value, 1), ReadVal: make([]Value, 3)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestUniqueWrites(t *testing.T) {
+	c := chainWRW()
+	tr := New(c).UniqueWrites()
+	if tr.WriteVal[0] == tr.WriteVal[2] {
+		t.Fatal("write values not unique")
+	}
+	if tr.WriteVal[0] == 0 || tr.WriteVal[2] == 0 {
+		t.Fatal("write values must not collide with the zero default")
+	}
+}
+
+func TestFromObserver(t *testing.T) {
+	c := chainWRW()
+	o := observer.New(c)
+	o.Set(0, 1, 0)
+	tr := FromObserver(c, o)
+	if tr.ReadVal[1] != tr.WriteVal[0] {
+		t.Fatal("read value must equal observed write's value")
+	}
+	o2 := observer.New(c) // read observes ⊥
+	tr2 := FromObserver(c, o2)
+	if tr2.ReadVal[1] != Undefined {
+		t.Fatal("⊥ observation must read Undefined")
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	c := chainWRW()
+	o := observer.New(c)
+	o.Set(0, 1, 0)
+	tr := FromObserver(c, o)
+	cands := tr.Candidates(1)
+	if len(cands) != 1 || cands[0] != 0 {
+		t.Fatalf("candidates = %v, want [0]", cands)
+	}
+	// A later write with the same value is excluded by precedence.
+	tr.WriteVal[2] = tr.WriteVal[0]
+	cands = tr.Candidates(1)
+	if len(cands) != 1 || cands[0] != 0 {
+		t.Fatalf("candidates = %v: write 2 follows the read", cands)
+	}
+	// Undefined read admits ⊥.
+	tr.ReadVal[1] = Undefined
+	cands = tr.Candidates(1)
+	if len(cands) != 1 || cands[0] != observer.Bottom {
+		t.Fatalf("candidates = %v, want [⊥]", cands)
+	}
+}
+
+func TestCandidatesPanicsOnNonRead(t *testing.T) {
+	c := chainWRW()
+	tr := New(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Candidates(0)
+}
+
+func TestExplainable(t *testing.T) {
+	c := chainWRW()
+	tr := New(c).UniqueWrites()
+	tr.ReadVal[1] = 999 // no write stores 999
+	if tr.Explainable() {
+		t.Fatal("unexplainable trace passed")
+	}
+	tr.ReadVal[1] = tr.WriteVal[0]
+	if !tr.Explainable() {
+		t.Fatal("explainable trace failed")
+	}
+}
+
+func TestAmbiguousValuesWidenCandidates(t *testing.T) {
+	// Two parallel writes storing the same value: a following read has
+	// both as candidates.
+	c := computation.New(1)
+	w1 := c.AddNode(computation.W(0))
+	w2 := c.AddNode(computation.W(0))
+	r := c.AddNode(computation.R(0))
+	c.MustAddEdge(w1, r)
+	c.MustAddEdge(w2, r)
+	tr := New(c)
+	tr.WriteVal[w1] = 7
+	tr.WriteVal[w2] = 7
+	tr.ReadVal[r] = 7
+	if got := tr.Candidates(r); len(got) != 2 {
+		t.Fatalf("candidates = %v, want both writes", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := chainWRW()
+	tr := New(c).UniqueWrites()
+	tr.ReadVal[1] = Undefined
+	s := tr.String()
+	if !strings.Contains(s, "⊥") || !strings.Contains(s, "W(0)=1") {
+		t.Fatalf("String = %q", s)
+	}
+	cn := computation.New(1)
+	cn.AddNode(computation.N)
+	if !strings.Contains(New(cn).String(), "0:N") {
+		t.Fatal("noop rendering wrong")
+	}
+	_ = dag.None
+}

@@ -1,0 +1,91 @@
+// Package viz renders computations, observer functions and schedules
+// as Graphviz DOT, for inspection of the paper's objects:
+//
+//	dot -Tsvg out.dot > out.svg
+//
+// Nodes are labelled with their instruction; observer values appear as
+// dashed "observes" edges; schedules color nodes by processor.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+	"repro/internal/sched"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Observer, when non-nil, adds dashed edges u -> Φ(l, u) labelled
+	// with the location (self-observations and ⊥ omitted).
+	Observer *observer.Observer
+	// Schedule, when non-nil, colors nodes by processor and annotates
+	// start times.
+	Schedule *sched.Schedule
+	// NodeNames overrides the default numeric labels.
+	NodeNames []string
+	// Title sets the graph label.
+	Title string
+}
+
+// palette cycles through fill colors per processor.
+var palette = []string{
+	"#e8f0fe", "#fde8e8", "#e8fdf0", "#fdf6e8",
+	"#f0e8fd", "#e8fdfd", "#fde8f6", "#f6fde8",
+}
+
+// WriteDOT renders the computation to w.
+func WriteDOT(w io.Writer, c *computation.Computation, opts Options) error {
+	var b strings.Builder
+	b.WriteString("digraph computation {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", opts.Title)
+	}
+	name := func(u dag.Node) string {
+		if opts.NodeNames != nil && int(u) < len(opts.NodeNames) {
+			return opts.NodeNames[u]
+		}
+		return fmt.Sprintf("n%d", u)
+	}
+	for u := dag.Node(0); int(u) < c.NumNodes(); u++ {
+		label := name(u) + `\n` + c.Op(u).String()
+		extra := ""
+		if opts.Schedule != nil {
+			p := opts.Schedule.Proc[u]
+			label += fmt.Sprintf(`\np%d @%d`, p, opts.Schedule.Start[u])
+			extra = fmt.Sprintf(", style=filled, fillcolor=%q", palette[p%len(palette)])
+		}
+		fmt.Fprintf(&b, "  %d [label=\"%s\"%s];\n", u, label, extra)
+	}
+	for _, e := range c.Dag().Edges() {
+		fmt.Fprintf(&b, "  %d -> %d;\n", e[0], e[1])
+	}
+	if opts.Observer != nil {
+		for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+			for u := dag.Node(0); int(u) < c.NumNodes(); u++ {
+				v := opts.Observer.Get(l, u)
+				if v == observer.Bottom || v == u {
+					continue
+				}
+				fmt.Fprintf(&b, "  %d -> %d [style=dashed, color=gray40, label=\"Φ(%d)\", fontsize=9];\n", u, v, l)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DOT renders to a string.
+func DOT(c *computation.Computation, opts Options) string {
+	var b strings.Builder
+	if err := WriteDOT(&b, c, opts); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return b.String()
+}

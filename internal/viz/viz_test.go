@@ -1,0 +1,53 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperfig"
+	"repro/internal/sched"
+)
+
+func TestDOTBasic(t *testing.T) {
+	fx := paperfig.Figure2()
+	out := DOT(fx.Comp, Options{Title: "Figure 2"})
+	for _, want := range []string{"digraph", "Figure 2", "W(0)", "R(0)", "1 -> 2", "2 -> 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Fatal("unbalanced braces")
+	}
+}
+
+func TestDOTObserverEdges(t *testing.T) {
+	fx := paperfig.Figure2()
+	out := DOT(fx.Comp, Options{Observer: fx.Obs})
+	// C (node 2) observes A (node 0): a dashed edge 2 -> 0.
+	if !strings.Contains(out, "2 -> 0 [style=dashed") {
+		t.Fatalf("missing observer edge:\n%s", out)
+	}
+	// Self-observations of writes must not appear.
+	if strings.Contains(out, "0 -> 0") {
+		t.Fatal("self-observation rendered")
+	}
+}
+
+func TestDOTScheduleColors(t *testing.T) {
+	fx := paperfig.Dekker()
+	s := sched.ListSchedule(fx.Comp, 2, nil)
+	out := DOT(fx.Comp, Options{Schedule: s})
+	if !strings.Contains(out, "fillcolor") || !strings.Contains(out, "@") {
+		t.Fatalf("schedule annotations missing:\n%s", out)
+	}
+}
+
+func TestDOTNodeNames(t *testing.T) {
+	fx := paperfig.Figure3()
+	out := DOT(fx.Comp, Options{NodeNames: []string{"X", "A", "B", "C"}})
+	if !strings.Contains(out, "X\\n") || !strings.Contains(out, "B\\n") {
+		t.Fatalf("custom names missing:\n%s", out)
+	}
+}
