@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/computation"
 	"repro/internal/dag"
@@ -38,6 +39,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print violation/witness details")
 	demo := flag.Bool("demo", false, "check the built-in Figure 2 pair instead of a file")
 	dot := flag.Bool("dot", false, "emit the pair as Graphviz DOT instead of checking")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the SC search")
 	flag.Parse()
 
 	var (
@@ -87,23 +89,38 @@ func main() {
 		models = []memmodel.Model{m}
 	}
 
+	opts := memmodel.SearchOptions{Workers: *workers}
 	anyOut := false
 	for _, m := range models {
-		in := m.Contains(comp, obs)
+		var (
+			in      bool
+			scOrder []dag.Node
+			scStats memmodel.SearchStats
+		)
+		if m.Name() == "SC" {
+			scOrder, in, scStats = memmodel.SCWitnessOpts(comp, obs, opts)
+		} else {
+			in = m.Contains(comp, obs)
+		}
 		verdict := "OUT"
 		if in {
 			verdict = "IN"
 		} else {
 			anyOut = true
 		}
-		fmt.Printf("%-4s %s\n", m.Name(), verdict)
+		if m.Name() == "SC" {
+			fmt.Printf("%-4s %s  (search: %d states, %d memo hits, %d pruned, %d workers)\n",
+				m.Name(), verdict, scStats.States, scStats.MemoHits, scStats.Pruned, scStats.Workers)
+		} else {
+			fmt.Printf("%-4s %s\n", m.Name(), verdict)
+		}
 		if !*explain {
 			continue
 		}
 		switch m.Name() {
 		case "SC":
-			if order, ok := memmodel.SCWitness(comp, obs); ok {
-				fmt.Printf("     witness sort: %s\n", renderOrder(named, order))
+			if in {
+				fmt.Printf("     witness sort: %s\n", renderOrder(named, scOrder))
 			}
 		case "LC":
 			if sorts, ok := memmodel.LCWitness(comp, obs); ok {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/checker"
@@ -42,6 +43,7 @@ func main() {
 	budget := flag.Int("budget", 1000000, "SC search-state budget (0 = unlimited)")
 	witness := flag.Bool("witness", false, "print witness observer functions")
 	demo := flag.Bool("demo", false, "verify the built-in message-passing demo trace")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the searches")
 	flag.Parse()
 
 	var nt *trace.NamedTrace
@@ -72,23 +74,25 @@ func main() {
 		os.Exit(1)
 	}
 
-	lc := checker.VerifyLC(tr)
-	fmt.Printf("LC: %s\n", verdict(lc.OK))
+	opts := checker.SearchOptions{Workers: *workers}
+	lc, _, lcStats := checker.VerifyLCOpts(tr, opts)
+	fmt.Printf("LC: %s  (search states: %d)\n", verdict(lc.OK), lcStats.States)
 	if lc.OK && *witness {
 		fmt.Printf("    witness: %v\n", lc.Observer)
 	}
 
-	scRes, exhaustive := checker.VerifySCBudget(tr, *budget)
+	opts.Budget = int64(*budget)
+	scRes, exhaustive, scStats := checker.VerifySCOpts(tr, opts)
 	switch {
 	case scRes.OK:
-		fmt.Printf("SC: %s\n", verdict(true))
+		fmt.Printf("SC: %s  (search states: %d)\n", verdict(true), scStats.States)
 		if *witness {
 			fmt.Printf("    witness: %v\n", scRes.Observer)
 		}
 	case exhaustive:
-		fmt.Printf("SC: %s\n", verdict(false))
+		fmt.Printf("SC: %s  (search states: %d)\n", verdict(false), scStats.States)
 	default:
-		fmt.Println("SC: UNDECIDED (search budget exhausted; raise -budget)")
+		fmt.Printf("SC: UNDECIDED (%d search states; budget exhausted, raise -budget)\n", scStats.States)
 	}
 
 	if lc.OK && (!scRes.OK && exhaustive) {

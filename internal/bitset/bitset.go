@@ -167,6 +167,14 @@ func (s *Set) Intersects(t *Set) bool {
 	return false
 }
 
+// Words exposes the backing word slice (least-significant word first,
+// bit i of word w representing element w*64+i). The slice is shared
+// with the set and must be treated as read-only; it is stable because
+// sets never grow after New. It exists for performance-critical callers
+// (state-key encoding in internal/search) that would otherwise copy the
+// set bit by bit.
+func (s *Set) Words() []uint64 { return s.words }
+
 // ForEach calls fn for each element in increasing order. If fn returns
 // false, iteration stops early.
 func (s *Set) ForEach(fn func(i int) bool) {

@@ -5,8 +5,8 @@
 // consistency verification ([GK94], cited in Sections 1 and 7).
 //
 // For the serialization-based models the checker does not enumerate
-// observer functions: it runs the same pruned backtracking as the
-// model deciders, but constrained only at read nodes (whose candidate
+// observer functions: it runs the unified pruned backtracking engine
+// of internal/search, constrained only at read nodes (whose candidate
 // writer sets come from value equality), which scales to traces far
 // beyond the exhaustive-enumeration experiments.
 package checker
@@ -16,8 +16,17 @@ import (
 	"repro/internal/dag"
 	"repro/internal/memmodel"
 	"repro/internal/observer"
+	"repro/internal/search"
 	"repro/internal/trace"
 )
+
+// SearchOptions tunes the engine behind the serialization checkers
+// (workers for parallel root splitting, search-state budget). The zero
+// value picks defaults (auto workers, unlimited budget).
+type SearchOptions = search.Options
+
+// SearchStats reports the work a verification's searches did.
+type SearchStats = search.Stats
 
 // Result reports a verification outcome with a witness when positive.
 type Result struct {
@@ -68,118 +77,44 @@ func allowed(cons constraints, l computation.Loc, u, w dag.Node) bool {
 
 // searchConstrained looks for a topological sort T of the trace's
 // computation such that, for every location l in locs and every node u
-// with a constraint, W_T(l, u) lies in the allowed set. It returns the
-// witnessing sort. budget, when positive, caps the number of search
-// states explored; on exhaustion the third result is false.
-func searchConstrained(t *trace.Trace, cons constraints, locs []computation.Loc, budget int) ([]dag.Node, bool, bool) {
+// with a constraint, W_T(l, u) lies in the allowed set. Locations in
+// locs with no constrained node are dropped from the engine's tracked
+// state — their last writer cannot affect admissibility, and a smaller
+// state key memoizes far better.
+func searchConstrained(t *trace.Trace, cons constraints, locs []computation.Loc, opts SearchOptions) search.Result {
 	c := t.Comp
-	n := c.NumNodes()
-	if n == 0 {
-		return []dag.Node{}, true, true
+	var tracked []computation.Loc
+	for _, l := range locs {
+		for u := range cons[l] {
+			if cons[l][u] != nil {
+				tracked = append(tracked, l)
+				break
+			}
+		}
 	}
-	g := c.Dag()
-	indeg := make([]int, n)
-	for u := 0; u < n; u++ {
-		indeg[u] = g.InDegree(dag.Node(u))
+	slot := make([]int, c.NumLocs())
+	for l := range slot {
+		slot[l] = -1
 	}
-	last := make([]dag.Node, len(locs))
-	for i := range last {
-		last[i] = observer.Bottom
+	for i, l := range tracked {
+		slot[l] = i
 	}
-	placed := make([]bool, n)
-	failed := make(map[string]struct{})
-	order := make([]dag.Node, 0, n)
-
-	keyBuf := make([]byte, 0, n/8+1+2*len(locs))
-	stateKey := func() string {
-		keyBuf = keyBuf[:0]
-		var acc byte
-		for u := 0; u < n; u++ {
-			acc = acc << 1
-			if placed[u] {
-				acc |= 1
+	spec := search.Spec{
+		Dag:      c.Dag(),
+		Closure:  c.Closure(),
+		NumSlots: len(tracked),
+		WriteSlot: func(u dag.Node) int {
+			if op := c.Op(u); op.Kind == computation.Write {
+				return slot[op.Loc]
 			}
-			if u%8 == 7 {
-				keyBuf = append(keyBuf, acc)
-				acc = 0
-			}
-		}
-		keyBuf = append(keyBuf, acc)
-		for _, w := range last {
-			keyBuf = append(keyBuf, byte(w), byte(int32(w)>>8))
-		}
-		return string(keyBuf)
+			return -1
+		},
+		Allowed: func(s int, u dag.Node) ([]dag.Node, bool) {
+			set := cons[tracked[s]][u]
+			return set, set != nil
+		},
 	}
-
-	states := 0
-	exhausted := true
-
-	var rec func(remaining int) bool
-	rec = func(remaining int) bool {
-		if remaining == 0 {
-			return true
-		}
-		states++
-		if budget > 0 && states > budget {
-			exhausted = false
-			return false
-		}
-		key := stateKey()
-		if _, bad := failed[key]; bad {
-			return false
-		}
-		for u := 0; u < n; u++ {
-			if placed[u] || indeg[u] != 0 {
-				continue
-			}
-			node := dag.Node(u)
-			ok := true
-			for i, l := range locs {
-				have := last[i]
-				if c.Op(node).IsWriteTo(l) {
-					have = node
-				}
-				if !allowed(cons, l, node, have) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			placed[u] = true
-			order = append(order, node)
-			var saved []dag.Node
-			for i, l := range locs {
-				if c.Op(node).IsWriteTo(l) {
-					saved = append(saved, dag.Node(i), last[i])
-					last[i] = node
-				}
-			}
-			for _, v := range g.Succs(node) {
-				indeg[v]--
-			}
-			if rec(remaining - 1) {
-				return true
-			}
-			for _, v := range g.Succs(node) {
-				indeg[v]++
-			}
-			for i := 0; i < len(saved); i += 2 {
-				last[saved[i]] = saved[i+1]
-			}
-			order = order[:len(order)-1]
-			placed[u] = false
-		}
-		if exhausted {
-			failed[key] = struct{}{}
-		}
-		return false
-	}
-	if rec(n) {
-		return order, true, true
-	}
-	return nil, false, exhausted
+	return search.Run(spec, opts)
 }
 
 // VerifySC decides whether the trace is explainable under sequential
@@ -195,33 +130,47 @@ func VerifySC(t *trace.Trace) Result {
 
 // VerifySCBudget is VerifySC with a cap on explored search states
 // (0 = unlimited). The second result reports whether the search was
-// exhaustive: if false, the trace may or may not be SC. Per-location
-// serializability (a relaxation of SC) is checked first, so many
-// non-SC traces are rejected exactly even under a budget.
+// exhaustive: if false, the trace may or may not be SC.
 func VerifySCBudget(t *trace.Trace, budget int) (Result, bool) {
+	res, exhausted, _ := VerifySCOpts(t, SearchOptions{Budget: int64(budget)})
+	return res, exhausted
+}
+
+// VerifySCOpts is VerifySC with engine options (parallel workers,
+// state budget), also reporting aggregate search statistics. The
+// per-location serializability precheck (a polynomial-size relaxation
+// of SC) shares the options; each constrained location costs at most
+// one budget's worth of states, so the total work is bounded by
+// (locations + 1) × Budget.
+func VerifySCOpts(t *trace.Trace, opts SearchOptions) (Result, bool, SearchStats) {
+	var stats SearchStats
 	if err := t.Validate(); err != nil {
-		return Result{}, true
+		return Result{}, true, stats
 	}
 	cons, ok := buildConstraints(t)
 	if !ok {
-		return Result{}, true
+		return Result{}, true, stats
 	}
-	// Necessary condition, checked in polynomial time: every location
-	// must be independently serializable.
+	// Necessary condition: every location must be independently
+	// serializable. Exact rejections here skip the joint search; a
+	// budget-exhausted precheck is inconclusive and falls through.
 	for l := computation.Loc(0); int(l) < t.Comp.NumLocs(); l++ {
-		if _, ok := serializeLocChoices(t.Comp, l, cons[l]); !ok {
-			return Result{}, true
+		res := serializeLocChoices(t.Comp, l, cons[l], opts)
+		stats.Add(res.Stats)
+		if !res.Found && res.Exhausted {
+			return Result{}, true, stats
 		}
 	}
 	locs := make([]computation.Loc, t.Comp.NumLocs())
 	for l := range locs {
 		locs[l] = computation.Loc(l)
 	}
-	order, ok, exhausted := searchConstrained(t, cons, locs, budget)
-	if !ok {
-		return Result{}, exhausted
+	res := searchConstrained(t, cons, locs, opts)
+	stats.Add(res.Stats)
+	if !res.Found {
+		return Result{}, res.Exhausted, stats
 	}
-	return Result{OK: true, Observer: observer.FromLastWriter(t.Comp, order)}, true
+	return Result{OK: true, Observer: observer.FromLastWriter(t.Comp, res.Order)}, true, stats
 }
 
 // OrderExplains reports whether a specific topological sort's
@@ -256,78 +205,71 @@ func OrderExplains(t *trace.Trace, order []dag.Node) bool {
 // consistency: each location independently admits a serialization
 // matching the observed values. On success the witness observer is
 // assembled from the per-location sorts.
-//
-// When every read's candidate set is a singleton (always the case for
-// traces with unique write values), each location is decided by the
-// polynomial SerializeLoc reduction; ambiguous reads are resolved by
-// backtracking over their candidates, each choice checked
-// polynomially.
 func VerifyLC(t *trace.Trace) Result {
+	res, _, _ := VerifyLCOpts(t, SearchOptions{})
+	return res
+}
+
+// VerifyLCOpts is VerifyLC with engine options, also reporting whether
+// every per-location search was exhaustive (relevant only with a
+// budget) and aggregate search statistics.
+func VerifyLCOpts(t *trace.Trace, opts SearchOptions) (Result, bool, SearchStats) {
+	var stats SearchStats
 	if err := t.Validate(); err != nil {
-		return Result{}
+		return Result{}, true, stats
 	}
 	cons, ok := buildConstraints(t)
 	if !ok {
-		return Result{}
+		return Result{}, true, stats
 	}
 	sorts := make([][]dag.Node, t.Comp.NumLocs())
 	for l := computation.Loc(0); int(l) < t.Comp.NumLocs(); l++ {
-		order, ok := serializeLocChoices(t.Comp, l, cons[l])
-		if !ok {
-			return Result{}
+		res := serializeLocChoices(t.Comp, l, cons[l], opts)
+		stats.Add(res.Stats)
+		if !res.Found {
+			return Result{}, res.Exhausted, stats
 		}
-		sorts[l] = order
+		sorts[l] = res.Order
 	}
 	if t.Comp.NumLocs() == 0 {
-		return Result{OK: true, Observer: observer.New(t.Comp)}
+		return Result{OK: true, Observer: observer.New(t.Comp)}, true, stats
 	}
-	return Result{OK: true, Observer: observer.FromPerLocationSorts(t.Comp, sorts)}
+	return Result{OK: true, Observer: observer.FromPerLocationSorts(t.Comp, sorts)}, true, stats
 }
 
 // serializeLocChoices finds a serialization of location l compatible
-// with per-node candidate sets (nil = unconstrained), backtracking over
-// nodes that have more than one candidate.
-func serializeLocChoices(c *computation.Computation, l computation.Loc, cands [][]dag.Node) ([]dag.Node, bool) {
-	var ambiguous []dag.Node
-	choice := make(map[dag.Node]dag.Node)
-	for u := 0; u < c.NumNodes(); u++ {
-		switch len(cands[u]) {
-		case 0: // unconstrained
-		case 1:
-			choice[dag.Node(u)] = cands[u][0]
-		default:
-			ambiguous = append(ambiguous, dag.Node(u))
-		}
-	}
-	req := func(u dag.Node) (dag.Node, bool) {
-		w, ok := choice[u]
-		return w, ok
-	}
-	var rec func(i int) ([]dag.Node, bool)
-	rec = func(i int) ([]dag.Node, bool) {
-		if i == len(ambiguous) {
-			return memmodel.SerializeLoc(c, l, req)
-		}
-		u := ambiguous[i]
-		for _, w := range cands[u] {
-			choice[u] = w
-			if order, ok := rec(i + 1); ok {
-				return order, true
+// with per-node candidate sets (nil = unconstrained): a single-slot
+// engine search whose candidate sets are exactly the per-read choices.
+// The engine's static closure filtering resolves the unambiguous reads
+// and its backtracking covers the ambiguous ones, replacing the
+// choice-enumeration loop the checker used to run around
+// memmodel.SerializeLoc.
+func serializeLocChoices(c *computation.Computation, l computation.Loc, cands [][]dag.Node, opts SearchOptions) search.Result {
+	spec := search.Spec{
+		Dag:      c.Dag(),
+		Closure:  c.Closure(),
+		NumSlots: 1,
+		WriteSlot: func(u dag.Node) int {
+			if c.Op(u).IsWriteTo(l) {
+				return 0
 			}
-		}
-		delete(choice, u)
-		return nil, false
+			return -1
+		},
+		Allowed: func(_ int, u dag.Node) ([]dag.Node, bool) {
+			return cands[u], cands[u] != nil
+		},
 	}
-	return rec(0)
+	return search.Run(spec, opts)
 }
 
 // VerifyModel decides explainability under an arbitrary model by
 // enumerating observer functions compatible with the trace (reads are
 // pinned to their value-derived candidates; all other entries range
-// over the full candidate sets). Exponential in the number of
-// unconstrained entries — intended for the dag-consistent models on
-// moderate computations. maxTries caps the enumeration (0 = unlimited);
-// if the cap is hit without success, the second result is false.
+// over the full candidate sets) via search.Assignments. Exponential in
+// the number of unconstrained entries — intended for the dag-consistent
+// models on moderate computations. maxTries caps the enumeration
+// (0 = unlimited); if the cap is hit without success, the second
+// result is false.
 func VerifyModel(m memmodel.Model, t *trace.Trace, maxTries int) (Result, bool) {
 	if err := t.Validate(); err != nil {
 		return Result{}, true
@@ -356,36 +298,28 @@ func VerifyModel(m memmodel.Model, t *trace.Trace, maxTries int) (Result, bool) 
 
 	o := observer.New(c)
 	n := c.NumNodes()
-	total := c.NumLocs() * n
+	domains := make([][]dag.Node, 0, c.NumLocs()*n)
+	for l := 0; l < c.NumLocs(); l++ {
+		domains = append(domains, cands[l]...)
+	}
 	tried := 0
 	exhausted := true
 	var found *observer.Observer
-
-	var rec func(slot int) bool
-	rec = func(slot int) bool {
-		if slot == total {
-			tried++
-			if m.Contains(c, o) {
-				found = o.Clone()
-				return true
-			}
-			if maxTries > 0 && tried >= maxTries {
-				exhausted = false
-				return true // stop, capped
-			}
+	search.Assignments(domains, func(assign []dag.Node) bool {
+		for i, v := range assign {
+			o.Set(computation.Loc(i/n), dag.Node(i%n), v)
+		}
+		tried++
+		if m.Contains(c, o) {
+			found = o.Clone()
 			return false
 		}
-		l := computation.Loc(slot / n)
-		u := dag.Node(slot % n)
-		for _, v := range cands[l][u] {
-			o.Set(l, u, v)
-			if rec(slot + 1) {
-				return true
-			}
+		if maxTries > 0 && tried >= maxTries {
+			exhausted = false
+			return false
 		}
-		return false
-	}
-	rec(0)
+		return true
+	})
 	if found != nil {
 		return Result{OK: true, Observer: found}, true
 	}

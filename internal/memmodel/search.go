@@ -4,156 +4,71 @@ import (
 	"repro/internal/computation"
 	"repro/internal/dag"
 	"repro/internal/observer"
+	"repro/internal/search"
 )
 
-// This file implements the decision procedure shared by SC and LC:
-// given a computation C, an observer function Φ, and a set of locations
-// S, is there a topological sort T ∈ TS(C) such that Φ(l, ·) = W_T(l, ·)
-// for every l ∈ S? SC asks the question for all locations with a single
-// sort; LC asks it per location with independent sorts.
+// This file adapts the decision procedure shared by SC and LC onto the
+// unified engine in internal/search: given a computation C, an
+// observer function Φ, and a set of locations S, is there a
+// topological sort T ∈ TS(C) such that Φ(l, ·) = W_T(l, ·) for every
+// l ∈ S? SC asks the question for all locations with a single sort; LC
+// asks it per location with independent sorts.
 //
-// The search is a pruned backtracking construction of T: a node u may be
-// appended only if, for every location of interest, Φ(l, u) equals the
-// last writer already placed (or u itself when u writes l). Failed
-// search states, identified by (placed set, last-writer vector), are
-// memoized, which keeps the common cases polynomial in practice even
-// though the problem is exponential in the worst case.
+// Each tracked location becomes an engine slot and every node's
+// candidate set is the singleton {Φ(l, u)}: a node may be appended to
+// the partial sort only if, for every location of interest, Φ(l, u)
+// equals the last writer already placed (or u itself when u writes l).
+// The engine supplies failed-state memoization (bitset-keyed, so the
+// common cases stay polynomial in practice even though the problem is
+// exponential in the worst case), transitive-closure pruning — which
+// subsumes the static prechecks the old private searcher ran (Φ(l,u)
+// observing the future, or a second write forced between Φ(l,u) and
+// u) — and parallel root splitting.
+
+// SearchOptions tunes the backtracking engine behind the SC decider
+// (workers for parallel root splitting, state budget). The zero value
+// picks defaults (auto workers, unlimited budget).
+type SearchOptions = search.Options
+
+// SearchStats reports the work a decider's search did.
+type SearchStats = search.Stats
 
 // searchLastWriter reports whether some T ∈ TS(c) has Φ(l,·) = W_T(l,·)
 // simultaneously for every l in locs, and returns one witnessing sort.
 func searchLastWriter(c *computation.Computation, o *observer.Observer, locs []computation.Loc) ([]dag.Node, bool) {
-	n := c.NumNodes()
-	if n == 0 {
-		return []dag.Node{}, true
-	}
-	if !lastWriterPrecheck(c, o, locs) {
-		return nil, false
-	}
-
-	g := c.Dag()
-	indeg := make([]int, n)
-	for u := 0; u < n; u++ {
-		indeg[u] = g.InDegree(dag.Node(u))
-	}
-	last := make([]dag.Node, len(locs))
-	for i := range last {
-		last[i] = observer.Bottom
-	}
-	placed := make([]bool, n)
-	failed := make(map[string]struct{})
-
-	keyBuf := make([]byte, 0, n+2*len(locs))
-	stateKey := func() string {
-		keyBuf = keyBuf[:0]
-		var acc byte
-		for u := 0; u < n; u++ {
-			acc = acc << 1
-			if placed[u] {
-				acc |= 1
-			}
-			if u%8 == 7 {
-				keyBuf = append(keyBuf, acc)
-				acc = 0
-			}
-		}
-		keyBuf = append(keyBuf, acc)
-		for _, w := range last {
-			keyBuf = append(keyBuf, byte(w), byte(int32(w)>>8))
-		}
-		return string(keyBuf)
-	}
-
-	order := make([]dag.Node, 0, n)
-
-	var rec func(remaining int) bool
-	rec = func(remaining int) bool {
-		if remaining == 0 {
-			return true
-		}
-		key := stateKey()
-		if _, bad := failed[key]; bad {
-			return false
-		}
-		for u := 0; u < n; u++ {
-			if placed[u] || indeg[u] != 0 {
-				continue
-			}
-			node := dag.Node(u)
-			ok := true
-			for i, l := range locs {
-				want := last[i]
-				if c.Op(node).IsWriteTo(l) {
-					want = node
-				}
-				if o.Get(l, node) != want {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			placed[u] = true
-			order = append(order, node)
-			saved := make([]dag.Node, 0, 2)
-			for i, l := range locs {
-				if c.Op(node).IsWriteTo(l) {
-					saved = append(saved, dag.Node(i), last[i])
-					last[i] = node
-				}
-			}
-			for _, v := range g.Succs(node) {
-				indeg[v]--
-			}
-			if rec(remaining - 1) {
-				return true
-			}
-			for _, v := range g.Succs(node) {
-				indeg[v]++
-			}
-			for i := 0; i < len(saved); i += 2 {
-				last[saved[i]] = saved[i+1]
-			}
-			order = order[:len(order)-1]
-			placed[u] = false
-		}
-		failed[key] = struct{}{}
-		return false
-	}
-	if rec(n) {
-		return order, true
-	}
-	return nil, false
+	res := searchLastWriterOpts(c, o, locs, SearchOptions{})
+	return res.Order, res.Found
 }
 
-// lastWriterPrecheck applies cheap necessary conditions before the
-// backtracking search:
-//
-//   - if Φ(l,u) = ⊥, no write to l may precede u in the dag (it would
-//     precede u in every sort);
-//   - if Φ(l,u) = w, no other write to l may lie strictly between w and
-//     u in the dag (it would overwrite w in every sort);
-//   - if Φ(l,u) = w then w must not strictly follow u (already part of
-//     observer validity, kept for callers that skip validation).
-func lastWriterPrecheck(c *computation.Computation, o *observer.Observer, locs []computation.Loc) bool {
-	cl := c.Closure()
-	for _, l := range locs {
-		writers := c.Writers(l)
-		for u := dag.Node(0); int(u) < c.NumNodes(); u++ {
-			w := o.Get(l, u)
-			if cl.Precedes(u, w) {
-				return false
-			}
-			for _, x := range writers {
-				if x == w {
-					continue
-				}
-				// x strictly between w and u (w may be ⊥: ⊥ ≺ x always).
-				if cl.Precedes(w, x) && cl.PrecedesEq(x, u) {
-					return false
-				}
-			}
-		}
+// searchLastWriterOpts is searchLastWriter with engine options and the
+// full engine result (stats, budget exhaustion).
+func searchLastWriterOpts(c *computation.Computation, o *observer.Observer, locs []computation.Loc, opts SearchOptions) search.Result {
+	slot := make([]int, c.NumLocs())
+	for l := range slot {
+		slot[l] = -1
 	}
-	return true
+	for i, l := range locs {
+		slot[l] = i
+	}
+	// One backing array for all the singleton candidate sets: the engine
+	// retains the slices, so per-(location, node) allocations are wasted.
+	n := c.NumNodes()
+	vals := make([]dag.Node, len(locs)*n)
+	spec := search.Spec{
+		Dag:      c.Dag(),
+		Closure:  c.Closure(),
+		NumSlots: len(locs),
+		WriteSlot: func(u dag.Node) int {
+			if op := c.Op(u); op.Kind == computation.Write {
+				return slot[op.Loc]
+			}
+			return -1
+		},
+		Allowed: func(s int, u dag.Node) ([]dag.Node, bool) {
+			i := s*n + int(u)
+			vals[i] = o.Get(locs[s], u)
+			return vals[i : i+1 : i+1], true
+		},
+	}
+	return search.Run(spec, opts)
 }

@@ -1,0 +1,418 @@
+package search
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+)
+
+// Below the serial engine and the parallel root splitter. One engine
+// owns one mutable search state (placed set, last-writer vector,
+// in-degrees, partial order) and one failed-state memo table; the
+// parallel path gives each worker its own engine and shares only the
+// compiled problem, the state budget, and the lowest-successful-root
+// register.
+
+// rec outcomes.
+const (
+	stFail  int8 = iota // subtree exhausted, no witness
+	stFound             // witness completed in e.order
+	stAbort             // budget ran out or a lower root won
+)
+
+// budget batching: workers draw states in chunks to keep the shared
+// atomic cold. Serial runs draw one at a time so the cap is exact.
+const budgetChunk = 64
+
+// With auto worker selection (Options.Workers == 0), problems smaller
+// than this run serially: goroutine fan-out costs more than the search.
+const parallelMinNodes = 24
+
+// cancellation poll interval (states) — a power of two minus checks.
+const cancelMask = 63
+
+type shared struct {
+	limited  bool
+	budget   atomic.Int64
+	bestRoot atomic.Int64
+	chunk    int64
+}
+
+func newShared(budget int64, chunk int64) *shared {
+	sh := &shared{limited: budget > 0, chunk: chunk}
+	sh.budget.Store(budget)
+	sh.bestRoot.Store(math.MaxInt64)
+	return sh
+}
+
+// casMinRoot lowers bestRoot to r if r is smaller.
+func (sh *shared) casMinRoot(r int64) {
+	for {
+		cur := sh.bestRoot.Load()
+		if cur <= r || sh.bestRoot.CompareAndSwap(cur, r) {
+			return
+		}
+	}
+}
+
+type engine struct {
+	p      *problem
+	sh     *shared
+	placed *bitset.Set
+	last   []dag.Node
+	indeg  []int32
+	order  []dag.Node
+	memo   *stateSet
+	keyBuf []uint64
+	myRoot int64
+	grant  int64
+	tick   uint32
+	stats  Stats
+}
+
+func newEngine(p *problem, sh *shared) *engine {
+	e := &engine{
+		p:      p,
+		sh:     sh,
+		placed: bitset.New(p.n),
+		last:   make([]dag.Node, p.numSlots),
+		indeg:  make([]int32, p.n),
+		order:  make([]dag.Node, 0, p.n),
+		memo:   newStateSet(p.keyWords),
+		keyBuf: make([]uint64, p.keyWords),
+		myRoot: math.MaxInt64,
+	}
+	e.reset()
+	return e
+}
+
+// reset restores the empty search state; the memo table survives
+// (failed states are state-functions, valid across roots).
+func (e *engine) reset() {
+	e.placed.Clear()
+	for i := range e.last {
+		e.last[i] = dag.None
+	}
+	copy(e.indeg, e.p.indeg0)
+	e.order = e.order[:0]
+}
+
+// takeState charges one state against the shared budget, batching
+// grants by sh.chunk. Reports false on exhaustion.
+func (e *engine) takeState() bool {
+	if !e.sh.limited {
+		return true
+	}
+	if e.grant > 0 {
+		e.grant--
+		return true
+	}
+	chunk := e.sh.chunk
+	rem := e.sh.budget.Add(-chunk)
+	if rem <= -chunk {
+		e.sh.budget.Add(chunk)
+		return false
+	}
+	e.grant = chunk - 1
+	return true
+}
+
+// cancelled polls whether a lower root already produced a witness.
+func (e *engine) cancelled() bool {
+	e.tick++
+	if e.tick&cancelMask != 0 {
+		return false
+	}
+	return e.sh.bestRoot.Load() < e.myRoot
+}
+
+func (e *engine) encodeKey() []uint64 {
+	return encodeKey(e.keyBuf, e.placed.Words(), e.last)
+}
+
+// admissible reports whether placing u next satisfies every constraint
+// u carries (its own-slot write constraint was compiled away).
+func (e *engine) admissible(u dag.Node) bool {
+	for _, con := range e.p.nodeCons[u] {
+		have := e.last[con.slot]
+		if con.set[0] != have && !containsNode(con.set, have) {
+			return false
+		}
+	}
+	return true
+}
+
+// place appends u to the partial order and returns the last-writer
+// value it displaced (meaningful only when u writes a slot).
+func (e *engine) place(u dag.Node) dag.Node {
+	e.placed.Add(int(u))
+	e.order = append(e.order, u)
+	for _, v := range e.p.succs[u] {
+		e.indeg[v]--
+	}
+	var prev dag.Node
+	if s := e.p.writeSlot[u]; s >= 0 {
+		prev = e.last[s]
+		e.last[s] = u
+	}
+	return prev
+}
+
+func (e *engine) unplace(u dag.Node, prev dag.Node) {
+	if s := e.p.writeSlot[u]; s >= 0 {
+		e.last[s] = prev
+	}
+	for _, v := range e.p.succs[u] {
+		e.indeg[v]++
+	}
+	e.order = e.order[:len(e.order)-1]
+	e.placed.Remove(int(u))
+}
+
+// infeasible is the closure prune: some unplaced constrained node has
+// no live candidate left. A candidate w is dead when it is already
+// placed and either was overwritten (w ≠ current last writer) or will
+// be before the node arrives (a closure-forced predecessor writer of
+// the node is still unplaced and must land after w, overwriting it).
+// ⊥ is dead once any writer is placed. Unplaced candidates stay alive:
+// static filtering already removed the ones a sort can never realize.
+func (e *engine) infeasible() bool {
+	n := e.p.n
+	for s := 0; s < e.p.numSlots; s++ {
+		lastS := e.last[s]
+		for _, u := range e.p.consNodes[s] {
+			if e.placed.Contains(int(u)) {
+				continue
+			}
+			alive := false
+			for _, w := range e.p.cands[s*n+int(u)] {
+				if w == dag.None {
+					if lastS == dag.None {
+						alive = true
+						break
+					}
+					continue
+				}
+				if !e.placed.Contains(int(w)) {
+					alive = true
+					break
+				}
+				if w == lastS && e.predWPlaced(s*n+int(u)) {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// predWPlaced reports whether every closure-forced predecessor writer
+// of the constraint at idx has been placed.
+func (e *engine) predWPlaced(idx int) bool {
+	off := int(e.p.predWOff[idx])
+	pw := e.p.predW[off : off+e.p.placedWords]
+	placed := e.placed.Words()
+	for i, w := range pw {
+		if w&^placed[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rec explores the subtree below the current state.
+func (e *engine) rec(remaining int) int8 {
+	if remaining == 0 {
+		return stFound
+	}
+	if !e.takeState() {
+		return stAbort
+	}
+	if e.cancelled() {
+		return stAbort
+	}
+	e.stats.States++
+	if e.memo.contains(e.encodeKey()) {
+		e.stats.MemoHits++
+		return stFail
+	}
+	if e.infeasible() {
+		e.stats.Pruned++
+		if e.memo.insert(e.encodeKey()) {
+			e.stats.Memoized++
+		}
+		return stFail
+	}
+	for u := 0; u < e.p.n; u++ {
+		if e.indeg[u] != 0 || e.placed.Contains(u) {
+			continue
+		}
+		node := dag.Node(u)
+		if !e.admissible(node) {
+			continue
+		}
+		prev := e.place(node)
+		st := e.rec(remaining - 1)
+		if st == stFound {
+			return stFound
+		}
+		e.unplace(node, prev)
+		if st == stAbort {
+			return stAbort
+		}
+	}
+	// keyBuf was overwritten by the children; re-encode before storing.
+	if e.memo.insert(e.encodeKey()) {
+		e.stats.Memoized++
+	}
+	return stFail
+}
+
+// Run solves the Spec. The answer (Found, and Order when Found) is
+// deterministic for any Workers setting under an unlimited budget; see
+// the package comment for why parallel splitting preserves it.
+func Run(spec Spec, opts Options) Result {
+	p := compile(spec)
+	if p.unsat {
+		// Static filtering emptied some candidate set: no sort exists.
+		return Result{Exhausted: true}
+	}
+	if p.n == 0 {
+		return Result{Order: []dag.Node{}, Found: true, Exhausted: true}
+	}
+
+	// The admissible first-choice frontier, in node order. At the root
+	// every slot's last writer is ⊥, so a node is admissible iff all of
+	// its constraint sets contain ⊥.
+	var roots []dag.Node
+	for u := 0; u < p.n; u++ {
+		if p.indeg0[u] != 0 {
+			continue
+		}
+		ok := true
+		for _, con := range p.nodeCons[u] {
+			if !containsNode(con.set, dag.None) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			roots = append(roots, dag.Node(u))
+		}
+	}
+	if len(roots) == 0 {
+		return Result{Exhausted: true, Stats: Stats{States: 1}}
+	}
+
+	workers := opts.Workers
+	auto := workers == 0
+	if auto {
+		workers = runtime.GOMAXPROCS(0)
+		if p.n < parallelMinNodes {
+			workers = 1
+		}
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	if workers <= 1 {
+		return runSerial(p, opts, len(roots))
+	}
+	return runParallel(p, opts, roots, workers)
+}
+
+func runSerial(p *problem, opts Options, numRoots int) Result {
+	e := newEngine(p, newShared(opts.Budget, 1))
+	st := e.rec(p.n)
+	e.stats.Roots = numRoots
+	e.stats.Workers = 1
+	res := Result{Stats: e.stats, Exhausted: st != stAbort}
+	if st == stFound {
+		res.Found = true
+		res.Exhausted = true
+		res.Order = append([]dag.Node(nil), e.order...)
+	}
+	return res
+}
+
+type rootOutcome struct {
+	order   []dag.Node
+	found   bool
+	aborted bool
+}
+
+func runParallel(p *problem, opts Options, roots []dag.Node, workers int) Result {
+	sh := newShared(opts.Budget, budgetChunk)
+	outcomes := make([]rootOutcome, len(roots))
+	engines := make([]*engine, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := newEngine(p, sh)
+			engines[w] = e
+			for {
+				r := next.Add(1) - 1
+				if r >= int64(len(roots)) {
+					return
+				}
+				// A strictly lower root already holds a witness: this
+				// root's outcome cannot win, skip it.
+				if sh.bestRoot.Load() < r {
+					continue
+				}
+				e.reset()
+				e.myRoot = r
+				e.stats.States++ // the root state itself
+				e.place(roots[r])
+				st := e.rec(p.n - 1)
+				switch st {
+				case stFound:
+					sh.casMinRoot(r)
+					outcomes[r] = rootOutcome{
+						order: append([]dag.Node(nil), e.order...),
+						found: true,
+					}
+				case stAbort:
+					outcomes[r] = rootOutcome{aborted: true}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var res Result
+	for _, e := range engines {
+		if e != nil {
+			res.Stats.Add(e.stats)
+		}
+	}
+	res.Stats.Roots = len(roots)
+	res.Stats.Workers = workers
+	res.Exhausted = true
+	for r := range outcomes {
+		if outcomes[r].found {
+			res.Found = true
+			res.Order = outcomes[r].order
+			res.Exhausted = true
+			return res
+		}
+		if outcomes[r].aborted {
+			// Aborts below the best root mean budget exhaustion (lower
+			// roots are never cancelled); without a found witness the
+			// search is inconclusive.
+			res.Exhausted = false
+		}
+	}
+	return res
+}

@@ -1,0 +1,326 @@
+// Package search implements the pruned, memoized backtracking search
+// over topological sorts that every decision procedure in this repo
+// bottoms out in: the SC and LC model deciders (Definitions 17–18 via
+// last-writer functions, Definition 13) and the post-mortem trace
+// checker (the computation-centric analogue of Gibbons & Korach's SC
+// verification, NP-complete in general).
+//
+// A search problem (Spec) asks: is there a topological sort T of a dag
+// such that, for every tracked location slot and every constrained
+// node u, the last writer W_T(slot, u) lies in u's allowed candidate
+// set? The engine answers it with three optimizations over the naive
+// search the model deciders and the checker used to duplicate:
+//
+//   - Memoization of failed states keyed by the packed bitset pair
+//     (placed set, last-writer vector), stored in a custom
+//     open-addressing hash set of raw uint64 words. No per-state
+//     string allocation, and the key codec is injective for any node
+//     count (the legacy checker key truncated node ids to 16 bits).
+//
+//   - Transitive-closure feasibility pruning: a partial sort is
+//     rejected as soon as some unplaced constrained node's candidates
+//     are all dead — a candidate writer is dead once it has been
+//     placed and overwritten, or once it is placed and some other
+//     writer that must precede the constrained node (by the closure)
+//     is still unplaced and would overwrite it. Candidate sets are
+//     also filtered statically against the closure before the search
+//     starts (a candidate the node precedes, or with another writer
+//     forced strictly between it and the node, can never be observed).
+//
+//   - Parallel root splitting: the admissible first-choice frontier
+//     fans out over Workers goroutines with per-worker memo tables, an
+//     atomic lowest-successful-root register for early cancellation,
+//     and a shared atomic state budget — the sharding idiom of
+//     internal/enum/parallel.go. Failed-state memoization is a pure
+//     function of the state, so per-worker tables preserve exactness,
+//     and the lowest-root rule makes the witness deterministic: with
+//     an unlimited budget, Workers > 1 returns the same Found/Order as
+//     Workers = 1.
+package search
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/dag"
+)
+
+// Options tunes a Run without changing its answer (budget aside).
+type Options struct {
+	// Workers is the number of goroutines for root splitting.
+	// 0 picks GOMAXPROCS with a small-problem serial cutoff;
+	// 1 forces the serial engine; >1 forces parallel splitting
+	// (capped at the number of admissible roots).
+	Workers int
+	// Budget caps the number of search states explored (0 = unlimited).
+	// On exhaustion Result.Exhausted is false and the answer is
+	// inconclusive unless a witness was already found. Under parallel
+	// splitting the cap is approximate (workers draw states in small
+	// batches) and which states get explored is scheduling-dependent.
+	Budget int64
+}
+
+// Stats reports how much work a Run did.
+type Stats struct {
+	States   int64 // search states expanded
+	MemoHits int64 // states rejected by the failed-state table
+	Pruned   int64 // states rejected by closure feasibility pruning
+	Memoized int64 // distinct failed states recorded
+	Roots    int   // admissible first-choice branches
+	Workers  int   // workers actually used
+}
+
+// Add accumulates t into s.
+func (s *Stats) Add(t Stats) {
+	s.States += t.States
+	s.MemoHits += t.MemoHits
+	s.Pruned += t.Pruned
+	s.Memoized += t.Memoized
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Order is a witnessing topological sort when Found.
+	Order []dag.Node
+	// Found reports whether a satisfying sort exists (definitive).
+	Found bool
+	// Exhausted reports whether the search ran to completion. When
+	// Found is false and Exhausted is false, the budget ran out and
+	// the instance is undecided.
+	Exhausted bool
+	Stats     Stats
+}
+
+// Spec describes a constrained topological-sort search. Locations are
+// abstracted into dense "slots" so callers can track any subset of
+// their locations (the checker only tracks locations that actually
+// constrain a read; SC tracks all of them).
+type Spec struct {
+	// Dag is the precedence graph to sort.
+	Dag *dag.Dag
+	// Closure is the transitive closure of Dag; computed when nil.
+	Closure *dag.Closure
+	// NumSlots is the number of tracked location slots.
+	NumSlots int
+	// WriteSlot returns the slot node u writes, or -1. A node writes
+	// at most one slot (instructions touch one location).
+	WriteSlot func(u dag.Node) int
+	// Allowed returns the candidate last-writer set for node u at a
+	// slot (dag.None means "no write observed") and whether u is
+	// constrained there at all. Constrained empty sets make the
+	// instance trivially unsatisfiable. The engine may retain the
+	// returned slice; the caller must not mutate it afterwards.
+	Allowed func(slot int, u dag.Node) ([]dag.Node, bool)
+}
+
+// nodeCon is one placement-time constraint: when the node is placed,
+// the current last writer of slot must be a member of set.
+type nodeCon struct {
+	slot int32
+	set  []dag.Node
+}
+
+// problem is a compiled Spec: closure-filtered candidate sets plus the
+// static tables the hot loop indexes.
+type problem struct {
+	n        int
+	numSlots int
+	succs    [][]dag.Node
+	indeg0   []int32
+	// writeSlot[u] is the slot u writes, or -1.
+	writeSlot []int32
+	// cands[slot*n+u] is the filtered candidate set (nil when
+	// unconstrained). For a write constrained at its own slot the
+	// constraint is static (u ∈ set) and is resolved at compile time.
+	cands [][]dag.Node
+	// nodeCons[u] lists the constraints checked when placing u.
+	nodeCons [][]nodeCon
+	// consNodes[slot] lists nodes carrying a dynamic constraint at the
+	// slot, scanned by the feasibility prune.
+	consNodes [][]dag.Node
+	// predW is a slab of placed-set-width bitmasks, one per dynamic
+	// constraint: the slot-writers that strictly precede the node in
+	// the closure. predWOff[slot*n+u] is the word offset into the slab,
+	// or -1 when u is unconstrained at the slot.
+	predW    []uint64
+	predWOff []int32
+
+	placedWords int
+	keyWords    int
+	unsat       bool
+}
+
+func compile(spec Spec) *problem {
+	n := spec.Dag.NumNodes()
+	p := &problem{
+		n:           n,
+		numSlots:    spec.NumSlots,
+		succs:       make([][]dag.Node, n),
+		indeg0:      make([]int32, n),
+		writeSlot:   make([]int32, n),
+		cands:       make([][]dag.Node, spec.NumSlots*n),
+		nodeCons:    make([][]nodeCon, n),
+		consNodes:   make([][]dag.Node, spec.NumSlots),
+		predWOff:    make([]int32, spec.NumSlots*n),
+		placedWords: (n + 63) / 64,
+	}
+	p.keyWords = p.placedWords + (spec.NumSlots+1)/2
+	cl := spec.Closure
+	if cl == nil {
+		cl = dag.MustClosure(spec.Dag)
+	}
+	// selfCands backs the compiled own-slot write constraints: one
+	// shared array instead of a singleton allocation per write.
+	var selfCands []dag.Node
+	for u := 0; u < n; u++ {
+		p.succs[u] = spec.Dag.Succs(dag.Node(u))
+		p.indeg0[u] = int32(spec.Dag.InDegree(dag.Node(u)))
+		p.writeSlot[u] = -1
+		if s := spec.WriteSlot(dag.Node(u)); s >= 0 {
+			if s >= spec.NumSlots {
+				panic(fmt.Sprintf("search: WriteSlot(%d) = %d out of range [0,%d)", u, s, spec.NumSlots))
+			}
+			p.writeSlot[u] = int32(s)
+		}
+	}
+	writersMask := make([]*bitset.Set, spec.NumSlots)
+	for s := range writersMask {
+		writersMask[s] = bitset.New(n)
+	}
+	for u := 0; u < n; u++ {
+		if s := p.writeSlot[u]; s >= 0 {
+			writersMask[s].Add(u)
+		}
+	}
+	// Pass 1: collect and filter candidate sets, counting the dynamic
+	// constraints per node and per slot for exact-size backing arrays.
+	perNode := make([]int32, n)
+	perSlot := make([]int32, spec.NumSlots)
+	total := 0
+	for s := 0; s < spec.NumSlots; s++ {
+		for u := 0; u < n; u++ {
+			idx := s*n + u
+			p.predWOff[idx] = -1
+			raw, constrained := spec.Allowed(s, dag.Node(u))
+			if !constrained {
+				continue
+			}
+			if p.writeSlot[u] == int32(s) {
+				// A write observes itself at its own slot (axiom 2.3 /
+				// Definition 13.1): the constraint holds always or never.
+				if !containsNode(raw, dag.Node(u)) {
+					p.unsat = true
+					return p
+				}
+				if selfCands == nil {
+					selfCands = make([]dag.Node, n)
+					for v := range selfCands {
+						selfCands[v] = dag.Node(v)
+					}
+				}
+				p.cands[idx] = selfCands[u : u+1 : u+1]
+				continue
+			}
+			kept := filterCandidates(raw, dag.Node(u), cl, writersMask[s], p.writeSlot, int32(s))
+			if len(kept) == 0 {
+				p.unsat = true
+				return p
+			}
+			p.cands[idx] = kept
+			perNode[u]++
+			perSlot[s]++
+			total++
+		}
+	}
+	// Pass 2: distribute the dynamic constraints into shared backings
+	// and build the predW slab.
+	conBacking := make([]nodeCon, 0, total)
+	nodeBacking := make([]dag.Node, 0, total)
+	p.predW = make([]uint64, 0, total*p.placedWords)
+	for u := 0; u < n; u++ {
+		if perNode[u] == 0 {
+			continue
+		}
+		start := len(conBacking)
+		for s := 0; s < spec.NumSlots; s++ {
+			idx := s*n + u
+			if p.cands[idx] == nil || p.writeSlot[u] == int32(s) {
+				continue
+			}
+			conBacking = append(conBacking, nodeCon{slot: int32(s), set: p.cands[idx]})
+			p.predWOff[idx] = int32(len(p.predW))
+			ww := writersMask[s].Words()
+			aw := cl.Ancestors(dag.Node(u)).Words()
+			for i := 0; i < p.placedWords; i++ {
+				p.predW = append(p.predW, ww[i]&aw[i])
+			}
+		}
+		p.nodeCons[u] = conBacking[start:len(conBacking):len(conBacking)]
+	}
+	for s := 0; s < spec.NumSlots; s++ {
+		if perSlot[s] == 0 {
+			continue
+		}
+		start := len(nodeBacking)
+		for u := 0; u < n; u++ {
+			if p.cands[s*n+u] != nil && p.writeSlot[u] != int32(s) {
+				nodeBacking = append(nodeBacking, dag.Node(u))
+			}
+		}
+		p.consNodes[s] = nodeBacking[start:len(nodeBacking):len(nodeBacking)]
+	}
+	return p
+}
+
+// filterCandidates drops candidates that no topological sort can
+// realize as u's last writer at the slot, using the closure:
+//
+//   - a non-writer of the slot (the last-writer function never yields it);
+//   - a candidate u strictly precedes (it would be placed after u);
+//   - ⊥ when some slot-writer precedes u (that writer lands first in
+//     every sort);
+//   - a candidate w with another slot-writer x forced strictly between
+//     them (w ≺ x ≺ u): x overwrites w before u in every sort.
+//
+// When nothing is dropped the raw slice is returned as-is — the common
+// case (singleton observer constraints, trace candidate sets) costs no
+// allocation.
+func filterCandidates(raw []dag.Node, u dag.Node, cl *dag.Closure, writers *bitset.Set, writeSlot []int32, slot int32) []dag.Node {
+	keep := func(w dag.Node) bool {
+		if w == dag.None {
+			return !writers.Intersects(cl.Ancestors(u))
+		}
+		if int(w) < 0 || int(w) >= len(writeSlot) || writeSlot[w] != slot {
+			return false
+		}
+		if cl.Precedes(u, w) {
+			return false
+		}
+		between := cl.Descendants(w).Clone()
+		between.IntersectWith(cl.Ancestors(u))
+		return !between.Intersects(writers)
+	}
+	for i, w := range raw {
+		if keep(w) {
+			continue
+		}
+		kept := make([]dag.Node, 0, len(raw)-1)
+		kept = append(kept, raw[:i]...)
+		for _, w := range raw[i+1:] {
+			if keep(w) {
+				kept = append(kept, w)
+			}
+		}
+		return kept
+	}
+	return raw
+}
+
+func containsNode(set []dag.Node, u dag.Node) bool {
+	for _, w := range set {
+		if w == u {
+			return true
+		}
+	}
+	return false
+}

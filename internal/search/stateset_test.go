@@ -1,0 +1,189 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// The engine's correctness hinges on the state-key codec being
+// injective: two distinct (placed set, last-writer vector) states must
+// never share a key, or a live state could be rejected by another
+// state's memoized failure. The legacy checker key truncated node ids
+// to their low 16 bits, so states with last writers 1 and 65537
+// aliased; these tests pin the fix, including node ids ≥ 256 (byte
+// boundary of the old packing) and ≥ 65536 (the truncation bug).
+
+func keyWordsFor(n, slots int) (placedWords, keyWords int) {
+	placedWords = (n + 63) / 64
+	return placedWords, placedWords + (slots+1)/2
+}
+
+func encodeState(t *testing.T, n int, placed []int, last []dag.Node) []uint64 {
+	t.Helper()
+	pw, kw := keyWordsFor(n, len(last))
+	words := make([]uint64, pw)
+	for _, u := range placed {
+		if u < 0 || u >= n {
+			t.Fatalf("bad test state: node %d of %d", u, n)
+		}
+		words[u/64] |= 1 << uint(u%64)
+	}
+	buf := make([]uint64, kw)
+	return append([]uint64(nil), encodeKey(buf, words, last)...)
+}
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ n, slots int }{
+		{1, 0}, {5, 1}, {64, 2}, {65, 3}, {300, 1}, {300, 4}, {70000, 3},
+	} {
+		pw, _ := keyWordsFor(tc.n, tc.slots)
+		for trial := 0; trial < 20; trial++ {
+			var placed []int
+			for u := 0; u < tc.n; u++ {
+				if rng.Intn(4) == 0 {
+					placed = append(placed, u)
+				}
+			}
+			last := make([]dag.Node, tc.slots)
+			for i := range last {
+				last[i] = dag.Node(rng.Intn(tc.n+1) - 1) // includes ⊥ = -1
+			}
+			key := encodeState(t, tc.n, placed, last)
+			gotWords, gotLast := decodeKey(key, pw, tc.slots)
+			wantWords := make([]uint64, pw)
+			for _, u := range placed {
+				wantWords[u/64] |= 1 << uint(u%64)
+			}
+			for i := range wantWords {
+				if gotWords[i] != wantWords[i] {
+					t.Fatalf("n=%d slots=%d: placed word %d = %#x, want %#x", tc.n, tc.slots, i, gotWords[i], wantWords[i])
+				}
+			}
+			for i := range last {
+				if gotLast[i] != last[i] {
+					t.Fatalf("n=%d slots=%d: last[%d] = %d, want %d", tc.n, tc.slots, i, gotLast[i], last[i])
+				}
+			}
+		}
+	}
+}
+
+// Distinct states must get distinct keys. The table drives exactly the
+// aliasing classes of the legacy codecs: low-byte-equal node ids
+// (≥ 256) and low-16-bit-equal node ids (≥ 65536), in both the placed
+// set and the last-writer vector, plus ⊥-versus-node confusion.
+func TestKeyCodecInjectivity(t *testing.T) {
+	type state struct {
+		placed []int
+		last   []dag.Node
+	}
+	cases := []struct {
+		name string
+		n    int
+		a, b state
+	}{
+		{"placed-vs-empty", 10, state{[]int{3}, []dag.Node{-1}}, state{nil, []dag.Node{-1}}},
+		{"last-bottom-vs-zero", 10, state{[]int{0}, []dag.Node{-1}}, state{[]int{0}, []dag.Node{0}}},
+		{"last-differs-one-slot", 10, state{[]int{0, 1}, []dag.Node{0, 1}}, state{[]int{0, 1}, []dag.Node{0, 2}}},
+		{"byte-boundary-256", 300, state{[]int{299}, []dag.Node{1}}, state{[]int{299}, []dag.Node{257}}},
+		{"placed-256-vs-0", 300, state{[]int{0}, []dag.Node{-1}}, state{[]int{256}, []dag.Node{-1}}},
+		{"truncation-65536", 70000, state{[]int{9}, []dag.Node{1}}, state{[]int{9}, []dag.Node{65537}}},
+		{"truncation-65536-bottom", 70000, state{[]int{9}, []dag.Node{65535}}, state{[]int{9}, []dag.Node{-1}}},
+		{"placed-65536-vs-0", 70000, state{[]int{0}, []dag.Node{0}}, state{[]int{65536}, []dag.Node{0}}},
+		{"odd-even-slot-packing", 50, state{nil, []dag.Node{1, 2, 3}}, state{nil, []dag.Node{1, 3, 2}}},
+	}
+	for _, tc := range cases {
+		ka := encodeState(t, tc.n, tc.a.placed, tc.a.last)
+		kb := encodeState(t, tc.n, tc.b.placed, tc.b.last)
+		if equalKey(ka, kb) {
+			t.Errorf("%s: distinct states share key %#x", tc.name, ka)
+		}
+	}
+}
+
+// Exhaustive small-space injectivity: every (placed ⊆ {0..n-1}, last ∈
+// ({⊥} ∪ nodes)^slots) state maps to a unique key.
+func TestKeyCodecInjectivityExhaustive(t *testing.T) {
+	const n, slots = 6, 2
+	seen := map[[2]uint64][]int{}
+	id := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var placed []int
+		for u := 0; u < n; u++ {
+			if mask&(1<<u) != 0 {
+				placed = append(placed, u)
+			}
+		}
+		for l0 := -1; l0 < n; l0++ {
+			for l1 := -1; l1 < n; l1++ {
+				key := encodeState(t, n, placed, []dag.Node{dag.Node(l0), dag.Node(l1)})
+				if len(key) != 2 {
+					t.Fatalf("key length %d, want 2", len(key))
+				}
+				k := [2]uint64{key[0], key[1]}
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("states %v and %d share key %#x", prev, id, k)
+				}
+				seen[k] = []int{id}
+				id++
+			}
+		}
+	}
+	if want := (1 << n) * (n + 1) * (n + 1); len(seen) != want {
+		t.Fatalf("saw %d keys, want %d", len(seen), want)
+	}
+}
+
+func TestStateSetBasics(t *testing.T) {
+	s := newStateSet(3)
+	if s.contains([]uint64{0, 0, 0}) {
+		t.Fatal("empty set claims the zero key")
+	}
+	if !s.insert([]uint64{0, 0, 0}) {
+		t.Fatal("first insert of zero key not new")
+	}
+	if !s.contains([]uint64{0, 0, 0}) {
+		t.Fatal("zero key lost")
+	}
+	if s.insert([]uint64{0, 0, 0}) {
+		t.Fatal("duplicate insert claimed new")
+	}
+	if s.len() != 1 {
+		t.Fatalf("len = %d, want 1", s.len())
+	}
+}
+
+// Rehash stress: force many growths and verify the set against a map.
+func TestStateSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const kw = 2
+	s := newStateSet(kw)
+	ref := map[[kw]uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		// Small value range forces frequent duplicates.
+		k := [kw]uint64{uint64(rng.Intn(4000)), uint64(rng.Intn(3))}
+		key := k[:]
+		wantNew := !ref[k]
+		if got := s.insert(key); got != wantNew {
+			t.Fatalf("insert %v: new=%v, want %v", key, got, wantNew)
+		}
+		ref[k] = true
+	}
+	if s.len() != len(ref) {
+		t.Fatalf("len = %d, want %d", s.len(), len(ref))
+	}
+	for k := range ref {
+		if !s.contains(k[:]) {
+			t.Fatalf("key %v lost", k)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		k := [kw]uint64{uint64(rng.Intn(10000)), uint64(rng.Intn(3))}
+		if s.contains(k[:]) != ref[k] {
+			t.Fatalf("contains %v disagrees with reference", k)
+		}
+	}
+}

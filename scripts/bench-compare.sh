@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Compare benchmarks/latest.txt against benchmarks/baseline.txt and
+# fail if any benchmark's ns/op regressed by more than
+# BENCH_MAX_REGRESSION_PCT percent (default 5).
+#
+# Self-contained (awk only): no benchstat dependency. Compare runs on
+# the same goos/goarch/CPU as the baseline to avoid false regressions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="benchmarks/baseline.txt"
+LATEST="benchmarks/latest.txt"
+THRESHOLD="${BENCH_MAX_REGRESSION_PCT:-5}"
+
+if [ ! -f "$BASELINE" ] || ! grep -q '^Benchmark' "$BASELINE"; then
+  echo "baseline missing or empty; skipping compare"
+  exit 0
+fi
+if [ ! -f "$LATEST" ]; then
+  echo "benchmarks/latest.txt not found; run scripts/bench.sh first" >&2
+  exit 1
+fi
+
+awk -v thr="$THRESHOLD" '
+  # Benchmark output lines look like:
+  #   BenchmarkName/sub-8   20   12345 ns/op   678 B/op   9 allocs/op
+  # Record the value preceding each "ns/op" field, keyed by name.
+  /^Benchmark/ {
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") {
+        if (FILENAME == ARGV[1]) base[$1] = $(i - 1)
+        else latest[$1] = $(i - 1)
+        break
+      }
+    }
+  }
+  END {
+    fail = 0
+    for (name in latest) {
+      if (!(name in base) || base[name] + 0 == 0) continue
+      delta = (latest[name] - base[name]) / base[name] * 100
+      printf("%-60s %12.0f -> %12.0f ns/op  %+7.1f%%\n", name, base[name], latest[name], delta)
+      if (delta > thr) {
+        printf("REGRESSION > %s%%: %s\n", thr, name) > "/dev/stderr"
+        fail = 1
+      }
+    }
+    exit fail
+  }
+' "$BASELINE" "$LATEST"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run the search-engine benchmark suite and record the results in
+# benchmarks/latest.txt for regression tracking.
+#
+# BENCH_PATTERN selects benchmarks (default: the BenchmarkSearch*
+# engine-vs-seed suite); BENCH_TIME sets -benchtime (default: a fixed
+# iteration count so runs are quick and comparable).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkSearch}"
+TIME="${BENCH_TIME:-50x}"
+
+mkdir -p benchmarks
+go test ./internal/search -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" | tee benchmarks/latest.txt
