@@ -153,7 +153,10 @@ func BenchmarkBackerLC(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := randomMemComputation(rng, 40, 2)
-		res := backer.RunWorkStealing(c, 4, rng, nil)
+		res, err := backer.RunWorkStealing(c, 4, rng, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !checker.VerifyLC(res.Trace).OK {
 			b.Fatalf("BACKER violated LC on %v", c)
 		}
@@ -186,8 +189,14 @@ func BenchmarkBackerSpeedup(b *testing.B) {
 		b.Run(benchName("P", P), func(b *testing.B) {
 			var totalSpeedup float64
 			for i := 0; i < b.N; i++ {
-				s := sched.WorkStealing(c, P, nil, rng)
-				res := backer.Run(s, nil)
+				s, err := sched.WorkStealing(c, P, nil, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := backer.Run(s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if !checker.VerifyLC(res.Trace).OK {
 					b.Fatal("sweep execution violated LC")
 				}
@@ -358,7 +367,10 @@ func BenchmarkCilkFib(b *testing.B) {
 		P := P
 		b.Run(benchName("P", P), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := cilk.Execute(p, P, rng, nil)
+				res, err := cilk.Execute(p, P, rng, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
 				var got trace.Value
 				for u := 0; u < c.NumNodes(); u++ {
 					if c.Op(dag.Node(u)).IsWriteTo(out) {

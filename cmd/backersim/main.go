@@ -58,7 +58,11 @@ func runVerification(rng *rand.Rand, trials, nodes, locs, procs int, faultProb f
 	}
 	for i := 0; i < trials; i++ {
 		c := randomMemComputation(rng, nodes, locs)
-		res := backer.RunWorkStealing(c, procs, rng, f)
+		res, err := backer.RunWorkStealing(c, procs, rng, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "backersim:", err)
+			os.Exit(1)
+		}
 		if checker.VerifyLC(res.Trace).OK {
 			lcOK++
 		} else {
@@ -99,8 +103,16 @@ func runSweep(rng *rand.Rand, shape string) {
 		const reps = 5
 		var makespans, steals, flushes, fetches []float64
 		for r := 0; r < reps; r++ {
-			s := sched.WorkStealing(c, P, nil, rng)
-			res := backer.Run(s, nil)
+			s, err := sched.WorkStealing(c, P, nil, rng)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "backersim:", err)
+				os.Exit(1)
+			}
+			res, err := backer.Run(s, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "backersim:", err)
+				os.Exit(1)
+			}
 			if !checker.VerifyLC(res.Trace).OK {
 				fmt.Println("ERROR: sweep execution violated LC")
 				os.Exit(1)

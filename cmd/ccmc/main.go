@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ccmc [-model NAME] [-explain] FILE
+//	ccmc [-model NAME] [-explain] [-timeout D] [-max-states N] [-max-memo-mb N] FILE
 //	ccmc -demo
 //
 // The file format is the text format of internal/computation plus
@@ -17,11 +17,19 @@
 //	observe B x A
 //
 // With -demo, ccmc checks the paper's Figure 2 pair instead of a file.
+//
+// Every verdict is three-valued: IN, OUT, or INCONCLUSIVE(reason) when
+// a resource governor (-timeout, -max-states, -max-memo-mb is exact
+// and never inconclusive) stopped a decision first. Exit codes: 0 on
+// definitive verdicts (1 when -model selects a single model and it is
+// OUT), 2 on usage errors, 3 when any verdict is inconclusive.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -35,12 +43,23 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "", "check only this model (SC, LC, NN, NW, WN, WW)")
-	explain := flag.Bool("explain", false, "print violation/witness details")
-	demo := flag.Bool("demo", false, "check the built-in Figure 2 pair instead of a file")
-	dot := flag.Bool("dot", false, "emit the pair as Graphviz DOT instead of checking")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the SC search")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccmc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "", "check only this model (SC, LC, NN, NW, WN, WW)")
+	explain := fs.Bool("explain", false, "print violation/witness details")
+	demo := fs.Bool("demo", false, "check the built-in Figure 2 pair instead of a file")
+	dot := fs.Bool("dot", false, "emit the pair as Graphviz DOT instead of checking")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the SC search")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit for the decisions (0 = none); expiry yields INCONCLUSIVE(deadline)")
+	maxStates := fs.Int64("max-states", 0, "cap on SC search states (0 = unlimited); exhaustion yields INCONCLUSIVE(budget)")
+	maxMemoMB := fs.Int64("max-memo-mb", 0, "cap on SC search memoization memory in MiB (0 = unlimited); exact, never inconclusive")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var (
 		comp  *computation.Computation
@@ -50,21 +69,23 @@ func main() {
 	if *demo {
 		fx := paperfig.Figure2()
 		comp, obs = fx.Comp, fx.Obs
-		fmt.Println("checking the built-in Figure 2 pair:")
-		fmt.Printf("  %v\n  %v\n", comp, obs)
+		fmt.Fprintln(stdout, "checking the built-in Figure 2 pair:")
+		fmt.Fprintf(stdout, "  %v\n  %v\n", comp, obs)
 	} else {
-		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: ccmc [-model NAME] [-explain] FILE | ccmc -demo")
-			os.Exit(2)
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "usage: ccmc [-model NAME] [-explain] [-timeout D] [-max-states N] [-max-memo-mb N] FILE | ccmc -demo")
+			return 2
 		}
-		f, err := os.Open(flag.Arg(0))
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "ccmc:", err)
+			return 1
 		}
 		defer f.Close()
 		named2, obs2, err := observer.ParsePair(f)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "ccmc:", err)
+			return 1
 		}
 		named, comp, obs = named2, named2.Comp, obs2
 	}
@@ -74,79 +95,97 @@ func main() {
 		if named != nil {
 			opts.NodeNames = named.NodeName
 		}
-		if err := viz.WriteDOT(os.Stdout, comp, opts); err != nil {
-			fatal(err)
+		if err := viz.WriteDOT(stdout, comp, opts); err != nil {
+			fmt.Fprintln(stderr, "ccmc:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	models := expt.Models()
 	if *model != "" {
 		m, ok := expt.ModelByName(*model)
 		if !ok {
-			fatal(fmt.Errorf("unknown model %q", *model))
+			fmt.Fprintf(stderr, "ccmc: unknown model %q\n", *model)
+			return 1
 		}
 		models = []memmodel.Model{m}
 	}
 
-	opts := memmodel.SearchOptions{Workers: *workers}
-	anyOut := false
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := memmodel.SearchOptions{
+		Workers:      *workers,
+		Budget:       *maxStates,
+		MaxMemoBytes: *maxMemoMB << 20,
+	}
+	pred := map[string]memmodel.Predicate{
+		"NN": memmodel.PredNN, "NW": memmodel.PredNW,
+		"WN": memmodel.PredWN, "WW": memmodel.PredWW,
+	}
+
+	anyOut, anyInconclusive := false, false
 	for _, m := range models {
 		var (
-			in      bool
-			scOrder []dag.Node
-			scStats memmodel.SearchStats
+			verdict  memmodel.Verdict
+			scOrder  []dag.Node
+			scStats  memmodel.SearchStats
+			lcSorts  [][]dag.Node
+			qdagViol *memmodel.Violation
 		)
-		if m.Name() == "SC" {
-			scOrder, in, scStats = memmodel.SCWitnessOpts(comp, obs, opts)
-		} else {
-			in = m.Contains(comp, obs)
+		switch m.Name() {
+		case "SC":
+			scOrder, verdict, scStats = memmodel.SCDecide(ctx, comp, obs, opts)
+		case "LC":
+			lcSorts, verdict = memmodel.LCDecide(ctx, comp, obs)
+		default:
+			qdagViol, verdict = memmodel.QDagDecide(ctx, pred[m.Name()], comp, obs)
 		}
-		verdict := "OUT"
-		if in {
-			verdict = "IN"
-		} else {
-			anyOut = true
-		}
+		anyOut = anyOut || verdict.Out()
+		anyInconclusive = anyInconclusive || verdict.Inconclusive()
 		if m.Name() == "SC" {
-			fmt.Printf("%-4s %s  (search: %d states, %d memo hits, %d pruned, %d workers)\n",
+			fmt.Fprintf(stdout, "%-4s %s  (search: %d states, %d memo hits, %d pruned, %d workers)\n",
 				m.Name(), verdict, scStats.States, scStats.MemoHits, scStats.Pruned, scStats.Workers)
 		} else {
-			fmt.Printf("%-4s %s\n", m.Name(), verdict)
+			fmt.Fprintf(stdout, "%-4s %s\n", m.Name(), verdict)
 		}
 		if !*explain {
 			continue
 		}
 		switch m.Name() {
 		case "SC":
-			if in {
-				fmt.Printf("     witness sort: %s\n", renderOrder(named, scOrder))
+			if verdict.In() {
+				fmt.Fprintf(stdout, "     witness sort: %s\n", renderOrder(named, scOrder))
 			}
 		case "LC":
-			if sorts, ok := memmodel.LCWitness(comp, obs); ok {
-				for l, s := range sorts {
-					fmt.Printf("     witness sort for location %d: %s\n", l, renderOrder(named, s))
+			if verdict.In() {
+				for l, s := range lcSorts {
+					fmt.Fprintf(stdout, "     witness sort for location %d: %s\n", l, renderOrder(named, s))
 				}
-			} else if e := memmodel.ExplainLC(comp, obs); e != nil {
-				fmt.Printf("     %s\n", e)
+			} else if verdict.Out() {
+				if e := memmodel.ExplainLC(comp, obs); e != nil {
+					fmt.Fprintf(stdout, "     %s\n", e)
+				}
 			}
-		case "NN", "NW", "WN", "WW":
-			if in {
-				break
-			}
-			pred := map[string]memmodel.Predicate{
-				"NN": memmodel.PredNN, "NW": memmodel.PredNW,
-				"WN": memmodel.PredWN, "WW": memmodel.PredWW,
-			}[m.Name()]
-			if v := memmodel.ExplainQDag(pred, comp, obs); v != nil {
-				fmt.Printf("     violating triple at location %d: %s ≺ %s ≺ %s\n",
+		default:
+			if v := qdagViol; v != nil {
+				fmt.Fprintf(stdout, "     violating triple at location %d: %s ≺ %s ≺ %s\n",
 					v.Loc, renderNode(named, v.U), renderNode(named, v.V), renderNode(named, v.W))
 			}
 		}
 	}
-	if anyOut && *model != "" {
-		os.Exit(1)
+	switch {
+	case anyInconclusive:
+		fmt.Fprintln(stderr, "ccmc: inconclusive: raise -timeout/-max-states and retry")
+		return 3
+	case anyOut && *model != "":
+		return 1
 	}
+	return 0
 }
 
 func renderNode(named *computation.Named, u dag.Node) string {
@@ -168,9 +207,4 @@ func renderOrder(named *computation.Named, order []dag.Node) string {
 		s += renderNode(named, u)
 	}
 	return s
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ccmc:", err)
-	os.Exit(1)
 }

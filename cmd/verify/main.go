@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	verify [-budget N] [-witness] FILE
+//	verify [-max-states N] [-timeout D] [-max-memo-mb N] [-witness] FILE
 //	verify -demo
 //
 // File format — the computation format plus values:
@@ -17,14 +17,22 @@
 //	node Rd R(data) = ?     # ? or ⊥ means "read uninitialized memory"
 //	edge Wd Wf
 //	edge Rf Rd
+//
+// Verdicts are three-valued: explainable, VIOLATED, or
+// INCONCLUSIVE(reason) when a governor (-timeout, -max-states) stopped
+// the search first; -max-memo-mb is exact and never inconclusive. Exit
+// codes: 0 when every check is explainable, 1 when any check is
+// definitively violated, 2 on usage errors, 3 when the outcome is
+// inconclusive.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
-	"strings"
 
 	"repro/internal/checker"
 	"repro/internal/trace"
@@ -40,72 +48,106 @@ edge Rf Rd
 `
 
 func main() {
-	budget := flag.Int("budget", 1000000, "SC search-state budget (0 = unlimited)")
-	witness := flag.Bool("witness", false, "print witness observer functions")
-	demo := flag.Bool("demo", false, "verify the built-in message-passing demo trace")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the searches")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	budget := fs.Int64("budget", 1000000, "alias of -max-states (kept for compatibility; applies to every search)")
+	maxStates := fs.Int64("max-states", 0, "per-search state cap (0 = use -budget); exhaustion yields INCONCLUSIVE(budget)")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit for the checks (0 = none); expiry yields INCONCLUSIVE(deadline)")
+	maxMemoMB := fs.Int64("max-memo-mb", 0, "cap on search memoization memory in MiB (0 = unlimited); exact, never inconclusive")
+	witness := fs.Bool("witness", false, "print witness observer functions")
+	demo := fs.Bool("demo", false, "verify the built-in message-passing demo trace")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the searches")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var nt *trace.NamedTrace
 	var err error
 	if *demo {
 		nt, err = trace.ParseTraceString(demoTrace)
-		fmt.Print("verifying the built-in message-passing trace:\n\n" + demoTrace + "\n")
+		fmt.Fprint(stdout, "verifying the built-in message-passing trace:\n\n"+demoTrace+"\n")
 	} else {
-		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: verify [-budget N] [-witness] FILE | verify -demo")
-			os.Exit(2)
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "usage: verify [-max-states N] [-timeout D] [-witness] FILE | verify -demo")
+			return 2
 		}
 		var f *os.File
-		f, err = os.Open(flag.Arg(0))
+		f, err = os.Open(fs.Arg(0))
 		if err == nil {
 			defer f.Close()
 			nt, err = trace.ParseTrace(f)
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "verify:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "verify:", err)
+		return 1
 	}
 	tr := nt.Trace
 
 	if !tr.Explainable() {
-		fmt.Println("UNEXPLAINABLE: some read returns a value no eligible write stored")
-		os.Exit(1)
+		fmt.Fprintln(stdout, "UNEXPLAINABLE: some read returns a value no eligible write stored")
+		return 1
 	}
 
-	opts := checker.SearchOptions{Workers: *workers}
-	lc, _, lcStats := checker.VerifyLCOpts(tr, opts)
-	fmt.Printf("LC: %s  (search states: %d)\n", verdict(lc.OK), lcStats.States)
-	if lc.OK && *witness {
-		fmt.Printf("    witness: %v\n", lc.Observer)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := checker.SearchOptions{Workers: *workers, MaxMemoBytes: *maxMemoMB << 20}
+	opts.Budget = *budget
+	if *maxStates > 0 {
+		opts.Budget = *maxStates
 	}
 
-	opts.Budget = int64(*budget)
-	scRes, exhaustive, scStats := checker.VerifySCOpts(tr, opts)
+	violated, inconclusive := false, false
+
+	lc, lcVerdict, lcStats := checker.VerifyLCCtx(ctx, tr, opts)
+	fmt.Fprintf(stdout, "LC: %s  (search states: %d)\n", renderVerdict(lcVerdict), lcStats.States)
+	violated = violated || lcVerdict.Out()
+	inconclusive = inconclusive || lcVerdict.Inconclusive()
+	if lcVerdict.In() && *witness {
+		fmt.Fprintf(stdout, "    witness: %v\n", lc.Observer)
+	}
+
+	scRes, scVerdict, scStats := checker.VerifySCCtx(ctx, tr, opts)
+	fmt.Fprintf(stdout, "SC: %s  (search states: %d)\n", renderVerdict(scVerdict), scStats.States)
+	violated = violated || scVerdict.Out()
+	inconclusive = inconclusive || scVerdict.Inconclusive()
 	switch {
-	case scRes.OK:
-		fmt.Printf("SC: %s  (search states: %d)\n", verdict(true), scStats.States)
-		if *witness {
-			fmt.Printf("    witness: %v\n", scRes.Observer)
-		}
-	case exhaustive:
-		fmt.Printf("SC: %s  (search states: %d)\n", verdict(false), scStats.States)
-	default:
-		fmt.Printf("SC: UNDECIDED (%d search states; budget exhausted, raise -budget)\n", scStats.States)
+	case scVerdict.In() && *witness:
+		fmt.Fprintf(stdout, "    witness: %v\n", scRes.Observer)
+	case scVerdict.Inconclusive():
+		fmt.Fprintf(stdout, "    stopped by the %s governor; raise -timeout/-max-states and retry\n", scVerdict.Reason)
 	}
 
-	if lc.OK && (!scRes.OK && exhaustive) {
-		fmt.Println("\n=> a relaxed (coherent but not sequentially consistent) execution")
+	if lcVerdict.In() && scVerdict.Out() {
+		fmt.Fprintln(stdout, "\n=> a relaxed (coherent but not sequentially consistent) execution")
 	}
-	if !lc.OK {
-		fmt.Println("\n=> not even location consistent: per-location write serialization is violated")
+	if lcVerdict.Out() {
+		fmt.Fprintln(stdout, "\n=> not even location consistent: per-location write serialization is violated")
 	}
+	switch {
+	case violated:
+		return 1
+	case inconclusive:
+		return 3
+	}
+	return 0
 }
 
-func verdict(ok bool) string {
-	if ok {
+func renderVerdict(v checker.Verdict) string {
+	switch {
+	case v.In():
 		return "explainable"
+	case v.Out():
+		return "VIOLATED"
+	default:
+		return v.String() // INCONCLUSIVE(reason)
 	}
-	return strings.ToUpper("violated")
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/trace"
+)
+
+func TestRunDemo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-demo"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (the demo trace is LC but not SC); output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "LC: explainable") || !strings.Contains(out.String(), "SC: VIOLATED") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunBudgetInconclusive(t *testing.T) {
+	path := writeHardTrace(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-max-states", "2000", path}, &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "INCONCLUSIVE(budget)") {
+		t.Fatalf("output missing budget verdict:\n%s", out.String())
+	}
+}
+
+// TestRunTimeoutInconclusive is the acceptance criterion: a deadline
+// landing mid-search on a hard trace must yield INCONCLUSIVE(deadline)
+// with exit code 3, within ~2x the deadline, with no goroutine leak.
+func TestRunTimeoutInconclusive(t *testing.T) {
+	path := writeHardTrace(t)
+	base := runtime.NumGoroutine()
+	var out, errb bytes.Buffer
+	start := time.Now()
+	code := run([]string{"-timeout", "250ms", "-max-states", "0", "-budget", "0", path}, &out, &errb)
+	elapsed := time.Since(start)
+
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "INCONCLUSIVE(deadline)") {
+		t.Fatalf("output missing deadline verdict:\n%s", out.String())
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline run took %v against a 250ms deadline", elapsed)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// writeHardTrace renders the pinned hard checker instance (the same
+// generator and seed as the engine governance tests: >1e8 search
+// states, minutes of work uncapped) to a temp file in verify's format.
+func writeHardTrace(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g := dag.RandomLayered(rng, 30, 8, 0.08)
+	n := g.NumNodes()
+	ops := make([]computation.Op, n)
+	for i := range ops {
+		l := computation.Loc(rng.Intn(2))
+		if rng.Intn(3) == 0 {
+			ops[i] = computation.W(l)
+		} else {
+			ops[i] = computation.R(l)
+		}
+	}
+	c := computation.MustFrom(g, ops, 2)
+	tr := trace.New(c)
+	for u := 0; u < n; u++ {
+		switch c.Op(dag.Node(u)).Kind {
+		case computation.Write:
+			tr.WriteVal[u] = trace.Value(rng.Intn(3) + 1)
+		case computation.Read:
+			tr.ReadVal[u] = trace.Value(rng.Intn(3) + 1)
+		}
+	}
+	named := &computation.Named{
+		Comp:    c,
+		NodeID:  make(map[string]dag.Node, n),
+		LocName: []string{"x", "y"},
+		LocID:   map[string]computation.Loc{"x": 0, "y": 1},
+	}
+	for u := 0; u < n; u++ {
+		name := fmt.Sprintf("n%d", u)
+		named.NodeName = append(named.NodeName, name)
+		named.NodeID[name] = dag.Node(u)
+	}
+	path := filepath.Join(t.TempDir(), "hard.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := (&trace.NamedTrace{Named: named, Trace: tr}).Format(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

@@ -100,8 +100,14 @@ func TestDifferentialCheckerVsModels(t *testing.T) {
 func TestDifferentialBackerOnlineOffline(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, c := range corpus(4, 80, 14, 2) {
-		s := sched.WorkStealing(c, 3, nil, rng)
-		off := backer.Run(s, nil)
+		s, err := sched.WorkStealing(c, 3, nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := backer.Run(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !checker.VerifyLC(off.Trace).OK {
 			t.Fatalf("offline BACKER violated LC on %v", c)
 		}
@@ -160,10 +166,15 @@ func TestDifferentialSchedulingBounds(t *testing.T) {
 		}
 		t1, tinf := sched.Work(c, nil), sched.Span(c, nil)
 		for _, P := range []int{1, 3, 7} {
-			for _, s := range []*sched.Schedule{
-				sched.ListSchedule(c, P, nil),
-				sched.WorkStealing(c, P, nil, rng),
-			} {
+			ls, err := sched.ListSchedule(c, P, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, err := sched.WorkStealing(c, P, nil, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range []*sched.Schedule{ls, ws} {
 				if err := s.Validate(); err != nil {
 					t.Fatal(err)
 				}

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/backer"
 	"repro/internal/checker"
@@ -40,8 +41,10 @@ func main() {
 		c.NumNodes(), sched.Work(c, nil), sched.Span(c, nil))
 
 	for _, P := range []int{1, 2, 4, 8} {
-		s := sched.WorkStealing(c, P, nil, rng)
-		res := backer.Run(s, nil)
+		s, err := sched.WorkStealing(c, P, nil, rng)
+		check(err)
+		res, err := backer.Run(s, nil)
+		check(err)
 		lc := checker.VerifyLC(res.Trace)
 		// SC verification is NP-complete; try the execution order as a
 		// witness first, then a budgeted search.
@@ -68,12 +71,22 @@ func main() {
 	detected := 0
 	const trials = 50
 	for i := 0; i < trials; i++ {
-		s := sched.WorkStealing(c, 4, nil, rng)
+		s, err := sched.WorkStealing(c, 4, nil, rng)
+		check(err)
 		faults := &backer.Faults{SkipReconcile: 0.6, SkipFlush: 0.6, Rng: rng}
-		res := backer.Run(s, faults)
+		res, err := backer.Run(s, faults)
+		check(err)
 		if !checker.VerifyLC(res.Trace).OK {
 			detected++
 		}
 	}
 	fmt.Printf("checker flagged %d/%d faulty executions as LC violations\n", detected, trials)
+}
+
+// check aborts the example on a simulator error (invalid parameters).
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "backer example:", err)
+		os.Exit(1)
+	}
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/backer"
 	"repro/internal/checker"
@@ -70,7 +71,8 @@ func main() {
 
 	fmt.Println("\nwith BACKER coherence:")
 	for _, P := range []int{1, 2, 4, 8, 16} {
-		res := cilk.Execute(p, P, rng, nil)
+		res, err := cilk.Execute(p, P, rng, nil)
+		check(err)
 		lc := checker.VerifyLC(res.Backer.Trace).OK
 		fmt.Printf("  P=%-2d makespan=%-5d steals=%-4d fib=%-6v LC=%v\n",
 			P, res.Schedule.Makespan, res.Schedule.Steals, result(p, out, res), lc)
@@ -79,7 +81,8 @@ func main() {
 	fmt.Println("\nwith the coherence protocol sabotaged (90% of steps skipped):")
 	for trial := 0; trial < 5; trial++ {
 		faults := &backer.Faults{SkipReconcile: 0.9, SkipFlush: 0.9, Rng: rng}
-		res := cilk.Execute(p, 8, rng, faults)
+		res, err := cilk.Execute(p, 8, rng, faults)
+		check(err)
 		lc := checker.VerifyLC(res.Backer.Trace).OK
 		fmt.Printf("  trial %d: fib=%-8v LC=%v\n", trial+1, result(p, out, res), lc)
 	}
@@ -92,4 +95,12 @@ func fibIter(n int) trace.Value {
 		a, b = b, a+b
 	}
 	return a
+}
+
+// check aborts the example on a simulator error (invalid parameters).
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cilkfib:", err)
+		os.Exit(1)
+	}
 }

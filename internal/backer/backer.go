@@ -136,12 +136,27 @@ func (m *memory) write(p int, l computation.Loc, u dag.Node) {
 
 // Run executes the computation according to the schedule under the
 // BACKER protocol and returns the produced trace. faults may be nil.
-func Run(s *sched.Schedule, faults *Faults) *Result {
-	if err := s.Validate(); err != nil {
-		panic(fmt.Sprintf("backer: invalid schedule: %v", err))
+//
+// Schedules come from outside the package (simulators, files, tests),
+// so an invalid one is an input error, not an invariant violation: Run
+// validates up front and returns the problem as an error. A panic
+// escaping the protocol body (an internal bug) is converted to an
+// error at this boundary too, so callers feeding hostile inputs get a
+// diagnosis instead of a crash.
+func Run(s *sched.Schedule, faults *Faults) (res *Result, err error) {
+	if s == nil {
+		return nil, fmt.Errorf("backer: nil schedule")
 	}
+	if verr := s.Validate(); verr != nil {
+		return nil, fmt.Errorf("backer: invalid schedule: %w", verr)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("backer: internal error: %v", r)
+		}
+	}()
 	c := s.Comp
-	res := &Result{
+	res = &Result{
 		Schedule:     s,
 		ReadObserved: make(map[dag.Node]dag.Node),
 	}
@@ -186,7 +201,7 @@ func Run(s *sched.Schedule, faults *Faults) *Result {
 		executed[u] = true
 	}
 	res.Trace = tr
-	return res
+	return res, nil
 }
 
 func faultProb(f *Faults, reconcile bool) float64 {
@@ -201,7 +216,11 @@ func faultProb(f *Faults, reconcile bool) float64 {
 
 // RunWorkStealing is a convenience wrapper: schedule the computation
 // with randomized work stealing on P processors and run BACKER over it.
-func RunWorkStealing(c *computation.Computation, P int, rng *rand.Rand, faults *Faults) *Result {
-	s := sched.WorkStealing(c, P, nil, rng)
+// Invalid simulation parameters (P < 1, nil rng) surface as errors.
+func RunWorkStealing(c *computation.Computation, P int, rng *rand.Rand, faults *Faults) (*Result, error) {
+	s, err := sched.WorkStealing(c, P, nil, rng)
+	if err != nil {
+		return nil, err
+	}
 	return Run(s, faults)
 }

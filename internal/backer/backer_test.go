@@ -43,8 +43,14 @@ func TestSingleProcessorIsSequential(t *testing.T) {
 	c.MustAddEdge(w1, r1)
 	c.MustAddEdge(r1, w2)
 	c.MustAddEdge(w2, r2)
-	s := sched.ListSchedule(c, 1, nil)
-	res := Run(s, nil)
+	s, err := sched.ListSchedule(c, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ReadObserved[r1] != w1 || res.ReadObserved[r2] != w2 {
 		t.Fatalf("observed %v", res.ReadObserved)
 	}
@@ -59,7 +65,14 @@ func TestSingleProcessorIsSequential(t *testing.T) {
 func TestUninitializedReadObservesBottom(t *testing.T) {
 	c := computation.New(1)
 	r := c.AddNode(computation.R(0))
-	res := Run(sched.ListSchedule(c, 1, nil), nil)
+	s, err := sched.ListSchedule(c, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ReadObserved[r] != observer.Bottom {
 		t.Fatal("read of fresh memory must observe ⊥")
 	}
@@ -89,7 +102,10 @@ func TestCrossingEdgeMakesWriteVisible(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := Run(s, nil)
+	res, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ReadObserved[r] != w {
 		t.Fatalf("read observed %v, want the write", res.ReadObserved[r])
 	}
@@ -121,7 +137,10 @@ func TestFaultInjectionLosesWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Healthy protocol: r sees w.
-	res := Run(s, nil)
+	res, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ReadObserved[r] != w {
 		t.Fatalf("healthy run observed %v", res.ReadObserved[r])
 	}
@@ -131,7 +150,10 @@ func TestFaultInjectionLosesWrite(t *testing.T) {
 	// Broken protocol (flush skipped): r reads its stale ⊥ copy, which
 	// violates LC because the write precedes the read.
 	faults := &Faults{SkipFlush: 1.0, Rng: rand.New(rand.NewSource(1))}
-	bad := Run(s, faults)
+	bad, err := Run(s, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bad.ReadObserved[r] != observer.Bottom {
 		t.Fatalf("faulty run observed %v, want stale ⊥", bad.ReadObserved[r])
 	}
@@ -148,7 +170,10 @@ func TestBackerMaintainsLC(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		c := randomMemComputation(rng, 2+rng.Intn(18), 1+rng.Intn(2))
 		P := 1 + rng.Intn(4)
-		res := RunWorkStealing(c, P, rng, nil)
+		res, err := RunWorkStealing(c, P, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := res.Trace.Validate(); err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +206,10 @@ func TestBackerNotSC(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := Run(s, nil)
+	res, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Neither write was reconciled (no crossing edges), so both reads
 	// miss and observe ⊥.
 	if res.ReadObserved[r1] != observer.Bottom || res.ReadObserved[r2] != observer.Bottom {
@@ -202,8 +230,15 @@ func TestQuickFaultsAreDetectable(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		c := randomMemComputation(rng, 14, 1)
-		s := sched.WorkStealing(c, 3, nil, rng)
-		if !checker.VerifyLC(Run(s, nil).Trace).OK {
+		s, err := sched.WorkStealing(c, 3, nil, rng)
+		if err != nil {
+			return false
+		}
+		res, err := Run(s, nil)
+		if err != nil {
+			return false
+		}
+		if !checker.VerifyLC(res.Trace).OK {
 			return false // healthy run must always verify
 		}
 		return true
@@ -217,9 +252,16 @@ func TestQuickFaultsAreDetectable(t *testing.T) {
 	detected := 0
 	for trial := 0; trial < 150; trial++ {
 		c := randomMemComputation(rng, 14, 1)
-		s := sched.WorkStealing(c, 3, nil, rng)
+		s, err := sched.WorkStealing(c, 3, nil, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		faults := &Faults{SkipFlush: 0.8, SkipReconcile: 0.8, Rng: rng}
-		if !checker.VerifyLC(Run(s, faults).Trace).OK {
+		res, err := Run(s, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !checker.VerifyLC(res.Trace).OK {
 			detected++
 		}
 	}
@@ -232,18 +274,21 @@ func TestRunRejectsInvalidSchedule(t *testing.T) {
 	c := computation.New(1)
 	c.AddNode(computation.W(0))
 	bad := &sched.Schedule{Comp: c, P: 1}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	Run(bad, nil)
+	if res, err := Run(bad, nil); err == nil || res != nil {
+		t.Fatalf("invalid schedule accepted (res %v, err %v)", res, err)
+	}
+	if res, err := Run(nil, nil); err == nil || res != nil {
+		t.Fatalf("nil schedule accepted (res %v, err %v)", res, err)
+	}
 }
 
 func TestStatsAccounting(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	c := randomMemComputation(rng, 20, 2)
-	res := RunWorkStealing(c, 4, rng, nil)
+	res, err := RunWorkStealing(c, 4, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	reads, writes := 0, 0
 	for u := 0; u < c.NumNodes(); u++ {
 		switch c.Op(dag.Node(u)).Kind {

@@ -12,6 +12,8 @@
 package checker
 
 import (
+	"context"
+
 	"repro/internal/computation"
 	"repro/internal/dag"
 	"repro/internal/memmodel"
@@ -27,6 +29,10 @@ type SearchOptions = search.Options
 
 // SearchStats reports the work a verification's searches did.
 type SearchStats = search.Stats
+
+// Verdict is the three-valued verification outcome (In / Out /
+// Inconclusive with a machine-readable StopReason).
+type Verdict = search.Verdict
 
 // Result reports a verification outcome with a witness when positive.
 type Result struct {
@@ -81,7 +87,7 @@ func allowed(cons constraints, l computation.Loc, u, w dag.Node) bool {
 // locs with no constrained node are dropped from the engine's tracked
 // state — their last writer cannot affect admissibility, and a smaller
 // state key memoizes far better.
-func searchConstrained(t *trace.Trace, cons constraints, locs []computation.Loc, opts SearchOptions) search.Result {
+func searchConstrained(ctx context.Context, t *trace.Trace, cons constraints, locs []computation.Loc, opts SearchOptions) search.Result {
 	c := t.Comp
 	var tracked []computation.Loc
 	for _, l := range locs {
@@ -114,7 +120,7 @@ func searchConstrained(t *trace.Trace, cons constraints, locs []computation.Loc,
 			return set, set != nil
 		},
 	}
-	return search.Run(spec, opts)
+	return search.RunContext(ctx, spec, opts)
 }
 
 // VerifySC decides whether the trace is explainable under sequential
@@ -143,34 +149,49 @@ func VerifySCBudget(t *trace.Trace, budget int) (Result, bool) {
 // one budget's worth of states, so the total work is bounded by
 // (locations + 1) × Budget.
 func VerifySCOpts(t *trace.Trace, opts SearchOptions) (Result, bool, SearchStats) {
+	res, verdict, stats := VerifySCCtx(context.Background(), t, opts)
+	return res, verdict.Decided, stats
+}
+
+// VerifySCCtx is VerifySC under a context with a typed verdict:
+// cancellation or deadline expiry stops the searches promptly and
+// yields an inconclusive verdict (as does exhausting opts.Budget), Out
+// means the exhaustive search excluded every explaining serialization,
+// and In comes with the witness observer.
+func VerifySCCtx(ctx context.Context, t *trace.Trace, opts SearchOptions) (Result, Verdict, SearchStats) {
 	var stats SearchStats
 	if err := t.Validate(); err != nil {
-		return Result{}, true, stats
+		return Result{}, search.VerdictOut(), stats
 	}
 	cons, ok := buildConstraints(t)
 	if !ok {
-		return Result{}, true, stats
+		return Result{}, search.VerdictOut(), stats
 	}
 	// Necessary condition: every location must be independently
 	// serializable. Exact rejections here skip the joint search; a
-	// budget-exhausted precheck is inconclusive and falls through.
+	// budget-exhausted precheck is inconclusive and falls through, but a
+	// context stop aborts the whole verification — later searches would
+	// return immediately anyway.
 	for l := computation.Loc(0); int(l) < t.Comp.NumLocs(); l++ {
-		res := serializeLocChoices(t.Comp, l, cons[l], opts)
+		res := serializeLocChoices(ctx, t.Comp, l, cons[l], opts)
 		stats.Add(res.Stats)
 		if !res.Found && res.Exhausted {
-			return Result{}, true, stats
+			return Result{}, search.VerdictOut(), stats
+		}
+		if stop := res.Stop; stop == search.StopDeadline || stop == search.StopCancel {
+			return Result{}, search.VerdictInconclusive(stop), stats
 		}
 	}
 	locs := make([]computation.Loc, t.Comp.NumLocs())
 	for l := range locs {
 		locs[l] = computation.Loc(l)
 	}
-	res := searchConstrained(t, cons, locs, opts)
+	res := searchConstrained(ctx, t, cons, locs, opts)
 	stats.Add(res.Stats)
 	if !res.Found {
-		return Result{}, res.Exhausted, stats
+		return Result{}, res.Verdict(), stats
 	}
-	return Result{OK: true, Observer: observer.FromLastWriter(t.Comp, res.Order)}, true, stats
+	return Result{OK: true, Observer: observer.FromLastWriter(t.Comp, res.Order)}, search.VerdictIn(), stats
 }
 
 // OrderExplains reports whether a specific topological sort's
@@ -214,27 +235,34 @@ func VerifyLC(t *trace.Trace) Result {
 // every per-location search was exhaustive (relevant only with a
 // budget) and aggregate search statistics.
 func VerifyLCOpts(t *trace.Trace, opts SearchOptions) (Result, bool, SearchStats) {
+	res, verdict, stats := VerifyLCCtx(context.Background(), t, opts)
+	return res, verdict.Decided, stats
+}
+
+// VerifyLCCtx is VerifyLC under a context with a typed verdict; see
+// VerifySCCtx for the verdict semantics.
+func VerifyLCCtx(ctx context.Context, t *trace.Trace, opts SearchOptions) (Result, Verdict, SearchStats) {
 	var stats SearchStats
 	if err := t.Validate(); err != nil {
-		return Result{}, true, stats
+		return Result{}, search.VerdictOut(), stats
 	}
 	cons, ok := buildConstraints(t)
 	if !ok {
-		return Result{}, true, stats
+		return Result{}, search.VerdictOut(), stats
 	}
 	sorts := make([][]dag.Node, t.Comp.NumLocs())
 	for l := computation.Loc(0); int(l) < t.Comp.NumLocs(); l++ {
-		res := serializeLocChoices(t.Comp, l, cons[l], opts)
+		res := serializeLocChoices(ctx, t.Comp, l, cons[l], opts)
 		stats.Add(res.Stats)
 		if !res.Found {
-			return Result{}, res.Exhausted, stats
+			return Result{}, res.Verdict(), stats
 		}
 		sorts[l] = res.Order
 	}
 	if t.Comp.NumLocs() == 0 {
-		return Result{OK: true, Observer: observer.New(t.Comp)}, true, stats
+		return Result{OK: true, Observer: observer.New(t.Comp)}, search.VerdictIn(), stats
 	}
-	return Result{OK: true, Observer: observer.FromPerLocationSorts(t.Comp, sorts)}, true, stats
+	return Result{OK: true, Observer: observer.FromPerLocationSorts(t.Comp, sorts)}, search.VerdictIn(), stats
 }
 
 // serializeLocChoices finds a serialization of location l compatible
@@ -244,7 +272,7 @@ func VerifyLCOpts(t *trace.Trace, opts SearchOptions) (Result, bool, SearchStats
 // and its backtracking covers the ambiguous ones, replacing the
 // choice-enumeration loop the checker used to run around
 // memmodel.SerializeLoc.
-func serializeLocChoices(c *computation.Computation, l computation.Loc, cands [][]dag.Node, opts SearchOptions) search.Result {
+func serializeLocChoices(ctx context.Context, c *computation.Computation, l computation.Loc, cands [][]dag.Node, opts SearchOptions) search.Result {
 	spec := search.Spec{
 		Dag:      c.Dag(),
 		Closure:  c.Closure(),
@@ -259,7 +287,7 @@ func serializeLocChoices(c *computation.Computation, l computation.Loc, cands []
 			return cands[u], cands[u] != nil
 		},
 	}
-	return search.Run(spec, opts)
+	return search.RunContext(ctx, spec, opts)
 }
 
 // VerifyModel decides explainability under an arbitrary model by
@@ -271,14 +299,23 @@ func serializeLocChoices(c *computation.Computation, l computation.Loc, cands []
 // (0 = unlimited); if the cap is hit without success, the second
 // result is false.
 func VerifyModel(m memmodel.Model, t *trace.Trace, maxTries int) (Result, bool) {
+	res, verdict := VerifyModelCtx(context.Background(), m, t, maxTries)
+	return res, verdict.Decided
+}
+
+// VerifyModelCtx is VerifyModel under a context with a typed verdict:
+// ctx is polled between candidate observers, so cancellation or
+// deadline expiry stops the enumeration promptly with an inconclusive
+// verdict, as does hitting maxTries.
+func VerifyModelCtx(ctx context.Context, m memmodel.Model, t *trace.Trace, maxTries int) (Result, Verdict) {
 	if err := t.Validate(); err != nil {
-		return Result{}, true
+		return Result{}, search.VerdictOut()
 	}
 	c := t.Comp
 	cands := observer.Candidates(c)
 	cons, ok := buildConstraints(t)
 	if !ok {
-		return Result{}, true
+		return Result{}, search.VerdictOut()
 	}
 	// Intersect read rows with trace candidates.
 	for l := range cands {
@@ -303,9 +340,13 @@ func VerifyModel(m memmodel.Model, t *trace.Trace, maxTries int) (Result, bool) 
 		domains = append(domains, cands[l]...)
 	}
 	tried := 0
-	exhausted := true
+	stop := search.StopNone
 	var found *observer.Observer
 	search.Assignments(domains, func(assign []dag.Node) bool {
+		if err := ctx.Err(); err != nil {
+			stop = search.ContextStopReason(err)
+			return false
+		}
 		for i, v := range assign {
 			o.Set(computation.Loc(i/n), dag.Node(i%n), v)
 		}
@@ -315,13 +356,17 @@ func VerifyModel(m memmodel.Model, t *trace.Trace, maxTries int) (Result, bool) 
 			return false
 		}
 		if maxTries > 0 && tried >= maxTries {
-			exhausted = false
+			stop = search.StopBudget
 			return false
 		}
 		return true
 	})
-	if found != nil {
-		return Result{OK: true, Observer: found}, true
+	switch {
+	case found != nil:
+		return Result{OK: true, Observer: found}, search.VerdictIn()
+	case stop != search.StopNone:
+		return Result{}, search.VerdictInconclusive(stop)
+	default:
+		return Result{}, search.VerdictOut()
 	}
-	return Result{}, exhausted
 }

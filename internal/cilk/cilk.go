@@ -196,9 +196,18 @@ type Result struct {
 // observer function: a read returns the evaluated value of the write
 // it observed (Undefined for ⊥), and each write's Compute runs with
 // its strand's read results.
-func Execute(p *Program, P int, rng *rand.Rand, faults *backer.Faults) *Result {
-	s := sched.WorkStealing(p.comp, P, nil, rng)
-	bres := backer.Run(s, faults)
+//
+// Invalid machine parameters (P < 1, nil rng) surface as errors from
+// the scheduler rather than panics.
+func Execute(p *Program, P int, rng *rand.Rand, faults *backer.Faults) (*Result, error) {
+	s, err := sched.WorkStealing(p.comp, P, nil, rng)
+	if err != nil {
+		return nil, err
+	}
+	bres, err := backer.Run(s, faults)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Schedule: s,
 		Backer:   bres,
@@ -224,5 +233,5 @@ func Execute(p *Program, P int, rng *rand.Rand, faults *backer.Faults) *Result {
 			res.WriteVal[u] = fn(env)
 		}
 	}
-	return res
+	return res, nil
 }

@@ -23,7 +23,10 @@ func TestStraightLineProgram(t *testing.T) {
 	if c.NumNodes() != 2 || !c.Dag().HasEdge(0, 1) {
 		t.Fatalf("program shape: %v", c)
 	}
-	res := Execute(p, 1, rand.New(rand.NewSource(1)), nil)
+	res, err := Execute(p, 1, rand.New(rand.NewSource(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.ReadVal[1] != 7 {
 		t.Fatalf("read %v, want 7", res.ReadVal[1])
 	}
@@ -85,7 +88,7 @@ func TestEnvUnreadPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Execute(p, 1, rand.New(rand.NewSource(1)), nil)
+	_, _ = Execute(p, 1, rand.New(rand.NewSource(1)), nil)
 }
 
 // Fib builds the canonical divide-and-conquer program: every task
@@ -134,7 +137,10 @@ func TestFibCorrectOnBacker(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 5, 10} {
 		p, out := Fib(n)
 		for _, P := range []int{1, 2, 4, 8} {
-			res := Execute(p, P, rng, nil)
+			res, err := Execute(p, P, rng, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
 			// The program's final write to `out` is the root task's.
 			var got trace.Value
 			found := false
@@ -168,7 +174,10 @@ func TestFibBreaksWithoutCoherence(t *testing.T) {
 	const trials = 60
 	for i := 0; i < trials; i++ {
 		faults := &backer.Faults{SkipReconcile: 0.9, SkipFlush: 0.9, Rng: rng}
-		res := Execute(p, 4, rng, faults)
+		res, err := Execute(p, 4, rng, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
 		c := p.Computation()
 		for u := 0; u < c.NumNodes(); u++ {
 			if c.Op(dag.Node(u)).IsWriteTo(out) {
@@ -234,15 +243,21 @@ func TestQuickRandomProgramsWellFormed(t *testing.T) {
 			return false
 		}
 		// Deterministic at P=1 with a fixed execution seed.
-		r1 := Execute(p, 1, rand.New(rand.NewSource(1)), nil)
-		r2 := Execute(p, 1, rand.New(rand.NewSource(1)), nil)
+		r1, err1 := Execute(p, 1, rand.New(rand.NewSource(1)), nil)
+		r2, err2 := Execute(p, 1, rand.New(rand.NewSource(1)), nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
 		for u, v := range r1.WriteVal {
 			if r2.WriteVal[u] != v {
 				return false
 			}
 		}
 		// And LC-consistent on every processor count.
-		res := Execute(p, 1+rng.Intn(4), rand.New(rand.NewSource(seed)), nil)
+		res, err := Execute(p, 1+rng.Intn(4), rand.New(rand.NewSource(seed)), nil)
+		if err != nil {
+			return false
+		}
 		return checker.VerifyLC(res.Backer.Trace).OK
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -256,7 +271,10 @@ func TestQuickRandomProgramsWellFormed(t *testing.T) {
 func TestFibObserverInLC(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	p, _ := Fib(6)
-	res := Execute(p, 4, rng, nil)
+	res, err := Execute(p, 4, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	c := p.Computation()
 	// Reconstruct the full observer from the backer result rows is not
 	// exposed; instead verify via the trace-level checker and via

@@ -103,10 +103,18 @@ func (n *Named) parseOp(s string) (Op, error) {
 	}
 }
 
-// Parse reads the text format from r.
-func Parse(r io.Reader) (*Named, error) {
+// Parse reads the text format from r. Malformed input of any shape
+// returns an error, never a panic: Parse is an input boundary (files,
+// stdin, fuzzers), so the panicking constructors used by programmatic
+// builders are guarded here — explicitly for the known cases, and by a
+// recover fence for anything a hostile file finds that we didn't.
+func Parse(r io.Reader) (named *Named, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			named, err = nil, fmt.Errorf("computation: invalid input: %v", rec)
+		}
+	}()
 	sc := bufio.NewScanner(r)
-	var named *Named
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -119,6 +127,13 @@ func Parse(r io.Reader) (*Named, error) {
 		case "locs":
 			if named != nil {
 				return nil, fmt.Errorf("line %d: duplicate locs directive", lineNo)
+			}
+			seen := make(map[string]bool, len(fields)-1)
+			for _, name := range fields[1:] {
+				if seen[name] {
+					return nil, fmt.Errorf("line %d: duplicate location name %q", lineNo, name)
+				}
+				seen[name] = true
 			}
 			named = NewNamed(fields[1:]...)
 		case "node":

@@ -1,0 +1,133 @@
+package enum
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/computation"
+	"repro/internal/memmodel"
+	"repro/internal/observer"
+)
+
+// This file adds governed variants of the universe sweeps: the same
+// enumeration under a context.Context, stopping promptly on
+// cancellation or deadline expiry and reporting ctx.Err() instead of a
+// silently truncated count. The sweeps are exponential in the node
+// bound, so a caller that exposes them (experiments, CLIs) needs a way
+// to abandon a size that turned out too big.
+
+// ctxPollMask throttles ctx polling to every 256 pairs: an Err() call
+// is cheap but not free, and pair visits are nanoseconds each.
+const ctxPollMask = 255
+
+// EachPairCtx is EachPair under a context: enumeration stops early
+// when ctx is cancelled (polled every few hundred pairs) and the error
+// reports why. The count visited before the stop is returned either way.
+func EachPairCtx(ctx context.Context, maxNodes, numLocs int, fn func(c *computation.Computation, o *observer.Observer) bool) (int, error) {
+	var err error
+	tick := 0
+	total := EachPair(maxNodes, numLocs, func(c *computation.Computation, o *observer.Observer) bool {
+		tick++
+		if tick&ctxPollMask == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
+		return fn(c, o)
+	})
+	return total, err
+}
+
+// CompareCtx is Compare under a context. On cancellation the partial
+// Relation accumulated so far is returned along with ctx.Err(); it
+// covers only a prefix of the universe and proves nothing.
+func CompareCtx(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs int) (Relation, error) {
+	var r Relation
+	_, err := EachPairCtx(ctx, maxNodes, numLocs, func(c *computation.Computation, o *observer.Observer) bool {
+		compareInto(&r, a, b, c, o)
+		return true
+	})
+	return r, err
+}
+
+// CompareParallelCtx is CompareParallel under a context: every worker
+// polls ctx and the sweep returns promptly (no leaked goroutines) with
+// ctx.Err() when cancelled. The merged partial Relation is returned
+// either way.
+func CompareParallelCtx(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs, workers int) (Relation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var cancelled atomic.Bool
+	results := make(chan Relation, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			var r Relation
+			tick := 0
+			for n := 0; n <= maxNodes; n++ {
+				eachComputationShard(n, numLocs, shard, workers, func(c *computation.Computation) bool {
+					observer.Enumerate(c, func(o *observer.Observer) bool {
+						tick++
+						if tick&ctxPollMask == 0 {
+							if ctx.Err() != nil {
+								cancelled.Store(true)
+							}
+						}
+						if cancelled.Load() {
+							return false
+						}
+						compareInto(&r, a, b, c, o)
+						return true
+					})
+					return !cancelled.Load()
+				})
+				if cancelled.Load() {
+					break
+				}
+			}
+			results <- r
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+	var merged Relation
+	for r := range results {
+		merged.AOnly += r.AOnly
+		merged.BOnly += r.BOnly
+		merged.Both += r.Both
+		if merged.WitnessAOnly == nil {
+			merged.WitnessAOnly = r.WitnessAOnly
+		}
+		if merged.WitnessBOnly == nil {
+			merged.WitnessBOnly = r.WitnessBOnly
+		}
+	}
+	return merged, ctx.Err()
+}
+
+// compareInto classifies one pair against both models, accumulating
+// into r — the shared body of Compare, CompareCtx, and the parallel
+// variants.
+func compareInto(r *Relation, a, b memmodel.Model, c *computation.Computation, o *observer.Observer) {
+	inA := a.Contains(c, o)
+	inB := b.Contains(c, o)
+	switch {
+	case inA && inB:
+		r.Both++
+	case inA:
+		r.AOnly++
+		if r.WitnessAOnly == nil {
+			r.WitnessAOnly = &memmodel.Pair{C: c, O: o.Clone()}
+		}
+	case inB:
+		r.BOnly++
+		if r.WitnessBOnly == nil {
+			r.WitnessBOnly = &memmodel.Pair{C: c, O: o.Clone()}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package memmodel
 
 import (
+	"context"
+
 	"repro/internal/computation"
 	"repro/internal/dag"
 	"repro/internal/observer"
@@ -105,10 +107,21 @@ func ExplainQDag(p Predicate, c *computation.Computation, o *observer.Observer) 
 }
 
 func (m qdagModel) findViolation(c *computation.Computation, o *observer.Observer) *Violation {
+	v, _ := m.findViolationCtx(context.Background(), c, o)
+	return v
+}
+
+// findViolationCtx is findViolation under a context, polled once per
+// (location, node) outer iteration. A non-nil error means the scan was
+// stopped before covering every triple.
+func (m qdagModel) findViolationCtx(ctx context.Context, c *computation.Computation, o *observer.Observer) (*Violation, error) {
 	cl := c.Closure()
 	n := c.NumNodes()
 	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
 		for v := dag.Node(0); int(v) < n; v++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			phiV := o.Get(l, v)
 			// Candidate u values: ⊥ and every strict ancestor of v.
 			for _, u := range candidateUs(cl, v) {
@@ -128,12 +141,12 @@ func (m qdagModel) findViolation(c *computation.Computation, o *observer.Observe
 					return true
 				})
 				if bad != nil {
-					return bad
+					return bad, nil
 				}
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func candidateUs(cl *dag.Closure, v dag.Node) []dag.Node {

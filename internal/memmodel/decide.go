@@ -1,0 +1,86 @@
+package memmodel
+
+import (
+	"context"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+	"repro/internal/search"
+)
+
+// This file is the governed front door to the deciders: every model
+// membership question gets a context-aware variant returning a typed
+// three-valued Verdict instead of a bare bool, so callers can tell "not
+// in the model" apart from "the search was stopped by a deadline,
+// budget, or cancellation before it could decide". The legacy
+// bool-returning APIs remain and delegate with context.Background().
+
+// Verdict is the three-valued decision outcome (In / Out /
+// Inconclusive with a machine-readable StopReason).
+type Verdict = search.Verdict
+
+// StopReason says why a decision came back inconclusive.
+type StopReason = search.StopReason
+
+// SCDecide decides (c, o) ∈ SC under ctx: cancellation or deadline
+// expiry stops the search promptly and yields an inconclusive verdict,
+// as does exhausting opts.Budget. A definitive In verdict comes with a
+// witnessing sort. An observer that fails validation is definitively
+// Out (it is not an observer function for c at all).
+func SCDecide(ctx context.Context, c *computation.Computation, o *observer.Observer, opts SearchOptions) ([]dag.Node, Verdict, SearchStats) {
+	if o.Validate(c) != nil {
+		return nil, search.VerdictOut(), SearchStats{}
+	}
+	res := searchLastWriterCtx(ctx, c, o, allLocs(c), opts)
+	return res.Order, res.Verdict(), res.Stats
+}
+
+// LCDecide decides (c, o) ∈ LC under ctx. The per-location reduction is
+// polynomial (SerializeLoc), so ctx is polled between locations; a
+// cancelled run reports which governor fired. A definitive In verdict
+// comes with one witnessing sort per location.
+func LCDecide(ctx context.Context, c *computation.Computation, o *observer.Observer) ([][]dag.Node, Verdict) {
+	if o.Validate(c) != nil {
+		return nil, search.VerdictOut()
+	}
+	sorts := make([][]dag.Node, c.NumLocs())
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, search.VerdictInconclusive(search.ContextStopReason(err))
+		}
+		loc := l
+		order, ok := SerializeLoc(c, loc, func(u dag.Node) (dag.Node, bool) {
+			return o.Get(loc, u), true
+		})
+		if !ok {
+			return nil, search.VerdictOut()
+		}
+		sorts[l] = order
+	}
+	return sorts, search.VerdictIn()
+}
+
+// QDagDecide decides (c, o) ∈ QDag(p) under ctx. The scan is polynomial
+// per location/node pair, so ctx is polled once per outer node
+// iteration. A definitive Out verdict comes with the witnessing
+// violation triple.
+func QDagDecide(ctx context.Context, p Predicate, c *computation.Computation, o *observer.Observer) (*Violation, Verdict) {
+	if o.Validate(c) != nil {
+		return nil, search.VerdictOut()
+	}
+	v, err := qdagModel{pred: p}.findViolationCtx(ctx, c, o)
+	switch {
+	case err != nil:
+		return nil, search.VerdictInconclusive(search.ContextStopReason(err))
+	case v != nil:
+		return v, search.VerdictOut()
+	default:
+		return nil, search.VerdictIn()
+	}
+}
+
+// searchLastWriterCtx is searchLastWriterOpts under a context.
+func searchLastWriterCtx(ctx context.Context, c *computation.Computation, o *observer.Observer, locs []computation.Loc, opts SearchOptions) search.Result {
+	return search.RunContext(ctx, lastWriterSpec(c, o, locs), opts)
+}

@@ -43,6 +43,13 @@ func searchLastWriter(c *computation.Computation, o *observer.Observer, locs []c
 // searchLastWriterOpts is searchLastWriter with engine options and the
 // full engine result (stats, budget exhaustion).
 func searchLastWriterOpts(c *computation.Computation, o *observer.Observer, locs []computation.Loc, opts SearchOptions) search.Result {
+	return search.Run(lastWriterSpec(c, o, locs), opts)
+}
+
+// lastWriterSpec compiles the (C, Φ, S) membership question into an
+// engine Spec: each tracked location is a slot and every node's
+// candidate set is the singleton {Φ(l, u)}.
+func lastWriterSpec(c *computation.Computation, o *observer.Observer, locs []computation.Loc) search.Spec {
 	slot := make([]int, c.NumLocs())
 	for l := range slot {
 		slot[l] = -1
@@ -54,7 +61,7 @@ func searchLastWriterOpts(c *computation.Computation, o *observer.Observer, locs
 	// retains the slices, so per-(location, node) allocations are wasted.
 	n := c.NumNodes()
 	vals := make([]dag.Node, len(locs)*n)
-	spec := search.Spec{
+	return search.Spec{
 		Dag:      c.Dag(),
 		Closure:  c.Closure(),
 		NumSlots: len(locs),
@@ -70,5 +77,4 @@ func searchLastWriterOpts(c *computation.Computation, o *observer.Observer, locs
 			return vals[i : i+1 : i+1], true
 		},
 	}
-	return search.Run(spec, opts)
 }

@@ -24,8 +24,15 @@ import (
 // observe themselves, everything else observes ⊥.
 
 // ParsePair reads a computation and an observer function from the
-// combined text format.
-func ParsePair(r io.Reader) (*computation.Named, *Observer, error) {
+// combined text format. Like computation.Parse, it is an input
+// boundary: malformed files return errors, and a recover fence
+// converts any panic a hostile file provokes into one.
+func ParsePair(r io.Reader) (named *computation.Named, o *Observer, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			named, o, err = nil, nil, fmt.Errorf("observer: invalid input: %v", rec)
+		}
+	}()
 	var compLines, obsLines []string
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -39,11 +46,11 @@ func ParsePair(r io.Reader) (*computation.Named, *Observer, error) {
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
 	}
-	named, err := computation.Parse(strings.NewReader(strings.Join(compLines, "\n")))
+	named, err = computation.Parse(strings.NewReader(strings.Join(compLines, "\n")))
 	if err != nil {
 		return nil, nil, err
 	}
-	o := New(named.Comp)
+	o = New(named.Comp)
 	for i, line := range obsLines {
 		fields := strings.Fields(line)
 		if len(fields) != 4 {

@@ -1,0 +1,35 @@
+package observer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParsePair drives the combined computation+observer parser with
+// arbitrary input. The contract of the input boundary: any byte
+// sequence either parses into a pair whose observer validates against
+// its computation, or returns an error — never a panic.
+func FuzzParsePair(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.ccm"))
+	for _, p := range seeds {
+		if b, err := os.ReadFile(p); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Add("locs x\nnode A W(x)\nnode B R(x)\nedge A B\nobserve B x A\n")
+	f.Add("locs x\nnode A W(x)\nobserve A x bottom\n") // write observing ⊥ (invalid)
+	f.Add("observe A x A\n")                           // observe with no computation
+	f.Add("locs x x\nobserve A x A\n")                 // duplicate location
+	f.Fuzz(func(t *testing.T, input string) {
+		named, o, err := ParsePairString(input)
+		if err != nil {
+			return
+		}
+		// ParsePair validates before returning; re-check the
+		// postcondition explicitly so fuzzing pins it.
+		if verr := o.Validate(named.Comp); verr != nil {
+			t.Fatalf("parsed observer fails validation: %v", verr)
+		}
+	})
+}

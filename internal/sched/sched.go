@@ -119,12 +119,19 @@ func Span(c *computation.Computation, cost CostFunc) Tick {
 // ListSchedule runs greedy (Graham) list scheduling on P processors:
 // at every instant each idle processor takes the ready node with the
 // smallest id. Deterministic. Achieves T_P ≤ T_1/P + T_∞.
-func ListSchedule(c *computation.Computation, P int, cost CostFunc) *Schedule {
+//
+// Errors on invalid input (P < 1, or a cost function yielding a
+// non-positive duration) rather than panicking: simulator parameters
+// come from CLI flags and config files, not internal invariants.
+func ListSchedule(c *computation.Computation, P int, cost CostFunc) (*Schedule, error) {
 	if P < 1 {
-		panic(fmt.Sprintf("sched: need at least one processor, got %d", P))
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", P)
 	}
 	if cost == nil {
 		cost = UnitCost
+	}
+	if err := validateCost(c, cost); err != nil {
+		return nil, err
 	}
 	n := c.NumNodes()
 	s := &Schedule{
@@ -200,7 +207,7 @@ func ListSchedule(c *computation.Computation, P int, cost CostFunc) *Schedule {
 		}
 	}
 	s.Makespan = now
-	return s
+	return s, nil
 }
 
 // WorkStealing simulates randomized work stealing with unit-time steps:
@@ -208,12 +215,22 @@ func ListSchedule(c *computation.Computation, P int, cost CostFunc) *Schedule {
 // the bottom, and when idle steals from the top of a uniformly random
 // victim. Nodes take cost(u) consecutive ticks on their worker.
 // The returned schedule counts successful steals.
-func WorkStealing(c *computation.Computation, P int, cost CostFunc, rng *rand.Rand) *Schedule {
+//
+// Errors on invalid input (P < 1, nil rng, or a cost function yielding
+// a non-positive duration — which would spin the tick loop forever)
+// rather than panicking.
+func WorkStealing(c *computation.Computation, P int, cost CostFunc, rng *rand.Rand) (*Schedule, error) {
 	if P < 1 {
-		panic(fmt.Sprintf("sched: need at least one processor, got %d", P))
+		return nil, fmt.Errorf("sched: need at least one processor, got %d", P)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sched: work stealing needs a random source, got nil")
 	}
 	if cost == nil {
 		cost = UnitCost
+	}
+	if err := validateCost(c, cost); err != nil {
+		return nil, err
 	}
 	n := c.NumNodes()
 	s := &Schedule{
@@ -301,7 +318,18 @@ func WorkStealing(c *computation.Computation, P int, cost CostFunc, rng *rand.Ra
 		}
 	}
 	s.Makespan = now
-	return s
+	return s, nil
+}
+
+// validateCost rejects cost functions that assign a node a non-positive
+// duration: such a node never finishes under the tick semantics.
+func validateCost(c *computation.Computation, cost CostFunc) error {
+	for u := 0; u < c.NumNodes(); u++ {
+		if d := cost(dag.Node(u)); d < 1 {
+			return fmt.Errorf("sched: node %d has non-positive cost %d", u, d)
+		}
+	}
+	return nil
 }
 
 // nodeQueue is a FIFO of nodes.

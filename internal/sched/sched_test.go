@@ -41,7 +41,7 @@ func TestWorkAndSpan(t *testing.T) {
 
 func TestListScheduleSingleProcessor(t *testing.T) {
 	c := fromDag(dag.Diamond())
-	s := ListSchedule(c, 1, nil)
+	s := mustSchedule(t)(ListSchedule(c, 1, nil))
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestListScheduleSingleProcessor(t *testing.T) {
 func TestListScheduleParallelism(t *testing.T) {
 	// A wide antichain finishes in ceil(n/P) on P processors.
 	c := fromDag(dag.Antichain(10))
-	s := ListSchedule(c, 4, nil)
+	s := mustSchedule(t)(ListSchedule(c, 4, nil))
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestListScheduleGrahamBound(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		c := fromDag(dag.Random(rng, 3+rng.Intn(25), 0.2))
 		for _, P := range []int{1, 2, 4, 8} {
-			s := ListSchedule(c, P, nil)
+			s := mustSchedule(t)(ListSchedule(c, P, nil))
 			if err := s.Validate(); err != nil {
 				t.Fatal(err)
 			}
@@ -93,7 +93,7 @@ func TestWorkStealingValid(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		c := fromDag(dag.Random(rng, 2+rng.Intn(20), 0.25))
 		for _, P := range []int{1, 2, 5} {
-			s := WorkStealing(c, P, nil, rng)
+			s := mustSchedule(t)(WorkStealing(c, P, nil, rng))
 			if err := s.Validate(); err != nil {
 				t.Fatalf("P=%d: %v\n%v", P, err, c)
 			}
@@ -107,7 +107,7 @@ func TestWorkStealingValid(t *testing.T) {
 func TestWorkStealingSingleProcNoSteals(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	c := fromDag(dag.Chain(10))
-	s := WorkStealing(c, 1, nil, rng)
+	s := mustSchedule(t)(WorkStealing(c, 1, nil, rng))
 	if s.Steals != 0 {
 		t.Fatalf("steals = %d on one processor", s.Steals)
 	}
@@ -120,8 +120,8 @@ func TestWorkStealingSpeedsUp(t *testing.T) {
 	// A spawn tree has parallelism; 4 workers must beat 1 worker.
 	rng := rand.New(rand.NewSource(5))
 	c := fromDag(dag.SpawnTree(7))
-	s1 := WorkStealing(c, 1, nil, rng)
-	s4 := WorkStealing(c, 4, nil, rng)
+	s1 := mustSchedule(t)(WorkStealing(c, 1, nil, rng))
+	s4 := mustSchedule(t)(WorkStealing(c, 4, nil, rng))
 	if s4.Makespan >= s1.Makespan {
 		t.Fatalf("no speedup: P=1 %d vs P=4 %d", s1.Makespan, s4.Makespan)
 	}
@@ -132,7 +132,7 @@ func TestWorkStealingSpeedsUp(t *testing.T) {
 
 func TestScheduleValidateCatches(t *testing.T) {
 	c := fromDag(dag.Chain(2))
-	s := ListSchedule(c, 1, nil)
+	s := mustSchedule(t)(ListSchedule(c, 1, nil))
 	bad := *s
 	bad.Proc = []int{0, 5}
 	if bad.Validate() == nil {
@@ -151,20 +151,21 @@ func TestScheduleValidateCatches(t *testing.T) {
 	}
 }
 
-func TestBadProcessorCountPanics(t *testing.T) {
+func TestInvalidInputErrors(t *testing.T) {
 	c := fromDag(dag.Chain(2))
-	for i, fn := range []func(){
-		func() { ListSchedule(c, 0, nil) },
-		func() { WorkStealing(c, 0, nil, rand.New(rand.NewSource(1))) },
+	rng := rand.New(rand.NewSource(1))
+	badCost := func(dag.Node) Tick { return 0 }
+	for i, fn := range []func() (*Schedule, error){
+		func() (*Schedule, error) { return ListSchedule(c, 0, nil) },
+		func() (*Schedule, error) { return WorkStealing(c, 0, nil, rng) },
+		func() (*Schedule, error) { return WorkStealing(c, 2, nil, nil) },
+		func() (*Schedule, error) { return ListSchedule(c, 2, badCost) },
+		func() (*Schedule, error) { return WorkStealing(c, 2, badCost, rng) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
+		s, err := fn()
+		if err == nil || s != nil {
+			t.Errorf("case %d: invalid input accepted (schedule %v, err %v)", i, s, err)
+		}
 	}
 }
 
@@ -177,10 +178,15 @@ func TestQuickSchedulesValid(t *testing.T) {
 		c := fromDag(dag.Random(rng, n, 0.3))
 		cost := func(u dag.Node) Tick { return Tick(1 + (int(u)*7)%3) }
 		P := 1 + rng.Intn(4)
-		for _, s := range []*Schedule{
-			ListSchedule(c, P, cost),
-			WorkStealing(c, P, cost, rng),
-		} {
+		ls, err := ListSchedule(c, P, cost)
+		if err != nil {
+			return false
+		}
+		ws, err := WorkStealing(c, P, cost, rng)
+		if err != nil {
+			return false
+		}
+		for _, s := range []*Schedule{ls, ws} {
 			if s.Validate() != nil {
 				return false
 			}
@@ -193,5 +199,17 @@ func TestQuickSchedulesValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// mustSchedule unwraps a scheduler result whose inputs the test knows
+// to be valid.
+func mustSchedule(t *testing.T) func(*Schedule, error) *Schedule {
+	return func(s *Schedule, err error) *Schedule {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
 	}
 }

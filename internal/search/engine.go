@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -40,13 +41,45 @@ type shared struct {
 	budget   atomic.Int64
 	bestRoot atomic.Int64
 	chunk    int64
+	// done is the run context's cancellation channel (nil when the
+	// context can never be cancelled); ctx recovers the reason.
+	done <-chan struct{}
+	ctx  context.Context
+	// stop records the first governor that halted the run (a StopReason;
+	// 0 = still running). Sticky: later governors never overwrite it.
+	stop atomic.Uint32
 }
 
-func newShared(budget int64, chunk int64) *shared {
-	sh := &shared{limited: budget > 0, chunk: chunk}
+func newShared(ctx context.Context, budget int64, chunk int64) *shared {
+	sh := &shared{limited: budget > 0, chunk: chunk, ctx: ctx, done: ctx.Done()}
 	sh.budget.Store(budget)
 	sh.bestRoot.Store(math.MaxInt64)
 	return sh
+}
+
+// setStop records reason as the run's stop cause if none is set yet.
+func (sh *shared) setStop(reason StopReason) {
+	sh.stop.CompareAndSwap(0, uint32(reason))
+}
+
+// stopReason returns the recorded stop cause (StopNone while running).
+func (sh *shared) stopReason() StopReason { return StopReason(sh.stop.Load()) }
+
+// halted polls the governors: a recorded stop, then context
+// cancellation (recording its reason on first observation).
+func (sh *shared) halted() bool {
+	if sh.stop.Load() != 0 {
+		return true
+	}
+	if sh.done != nil {
+		select {
+		case <-sh.done:
+			sh.setStop(ctxStopReason(sh.ctx.Err()))
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 // casMinRoot lowers bestRoot to r if r is smaller.
@@ -74,7 +107,7 @@ type engine struct {
 	stats  Stats
 }
 
-func newEngine(p *problem, sh *shared) *engine {
+func newEngine(p *problem, sh *shared, memoCap int64) *engine {
 	e := &engine{
 		p:      p,
 		sh:     sh,
@@ -82,7 +115,7 @@ func newEngine(p *problem, sh *shared) *engine {
 		last:   make([]dag.Node, p.numSlots),
 		indeg:  make([]int32, p.n),
 		order:  make([]dag.Node, 0, p.n),
-		memo:   newStateSet(p.keyWords),
+		memo:   newStateSetCapped(p.keyWords, memoCap),
 		keyBuf: make([]uint64, p.keyWords),
 		myRoot: math.MaxInt64,
 	}
@@ -115,17 +148,23 @@ func (e *engine) takeState() bool {
 	rem := e.sh.budget.Add(-chunk)
 	if rem <= -chunk {
 		e.sh.budget.Add(chunk)
+		e.sh.setStop(StopBudget)
 		return false
 	}
 	e.grant = chunk - 1
 	return true
 }
 
-// cancelled polls whether a lower root already produced a witness.
+// cancelled polls, every cancelMask+1 states, whether a governor
+// (budget elsewhere, context deadline/cancel) halted the run or a
+// lower root already produced a witness.
 func (e *engine) cancelled() bool {
 	e.tick++
 	if e.tick&cancelMask != 0 {
 		return false
+	}
+	if e.sh.halted() {
+		return true
 	}
 	return e.sh.bestRoot.Load() < e.myRoot
 }
@@ -280,6 +319,21 @@ func (e *engine) rec(remaining int) int8 {
 // deterministic for any Workers setting under an unlimited budget; see
 // the package comment for why parallel splitting preserves it.
 func Run(spec Spec, opts Options) Result {
+	return RunContext(context.Background(), spec, opts)
+}
+
+// RunContext is Run under a context: cancellation and deadline expiry
+// stop the search promptly (workers poll on the cancelMask tick) and
+// surface as an inconclusive result — Exhausted false, Stop recording
+// which governor fired. A witness found before the stop is kept: Found
+// results are definitive even under a cancelled context. RunContext
+// never leaks goroutines; it returns only after every worker has
+// stopped.
+func RunContext(ctx context.Context, spec Spec, opts Options) Result {
+	if err := ctx.Err(); err != nil {
+		// Already cancelled: don't even compile.
+		return Result{Stop: ctxStopReason(err)}
+	}
 	p := compile(spec)
 	if p.unsat {
 		// Static filtering emptied some candidate set: no sort exists.
@@ -324,33 +378,51 @@ func Run(spec Spec, opts Options) Result {
 		workers = len(roots)
 	}
 	if workers <= 1 {
-		return runSerial(p, opts, len(roots))
+		return runSerial(ctx, p, opts, len(roots))
 	}
-	return runParallel(p, opts, roots, workers)
+	return runParallel(ctx, p, opts, roots, workers)
 }
 
-func runSerial(p *problem, opts Options, numRoots int) Result {
-	e := newEngine(p, newShared(opts.Budget, 1))
+func runSerial(ctx context.Context, p *problem, opts Options, numRoots int) Result {
+	sh := newShared(ctx, opts.Budget, 1)
+	e := newEngine(p, sh, opts.MaxMemoBytes)
 	st := e.rec(p.n)
 	e.stats.Roots = numRoots
 	e.stats.Workers = 1
+	e.stats.MemoBytes = e.memo.bytes()
+	e.stats.MemoSpilled = e.memo.spilled
 	res := Result{Stats: e.stats, Exhausted: st != stAbort}
 	if st == stFound {
 		res.Found = true
 		res.Exhausted = true
 		res.Order = append([]dag.Node(nil), e.order...)
 	}
+	if !res.Exhausted {
+		res.Stop = sh.stopReason()
+	}
 	return res
 }
 
 type rootOutcome struct {
-	order   []dag.Node
-	found   bool
-	aborted bool
+	order []dag.Node
+	found bool
+	// done marks a root whose subtree was exhausted without a witness.
+	// A root neither found nor done was aborted or never claimed; the
+	// run is then exhaustive only if some other root holds a witness.
+	done bool
 }
 
-func runParallel(p *problem, opts Options, roots []dag.Node, workers int) Result {
-	sh := newShared(opts.Budget, budgetChunk)
+func runParallel(ctx context.Context, p *problem, opts Options, roots []dag.Node, workers int) Result {
+	sh := newShared(ctx, opts.Budget, budgetChunk)
+	// The memo cap is per run; each worker's private table gets an
+	// equal share so the sum respects Options.MaxMemoBytes.
+	memoCap := opts.MaxMemoBytes
+	if memoCap > 0 {
+		memoCap /= int64(workers)
+		if memoCap < 1 {
+			memoCap = 1
+		}
+	}
 	outcomes := make([]rootOutcome, len(roots))
 	engines := make([]*engine, workers)
 	var next atomic.Int64
@@ -359,11 +431,11 @@ func runParallel(p *problem, opts Options, roots []dag.Node, workers int) Result
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e := newEngine(p, sh)
+			e := newEngine(p, sh, memoCap)
 			engines[w] = e
 			for {
 				r := next.Add(1) - 1
-				if r >= int64(len(roots)) {
+				if r >= int64(len(roots)) || sh.halted() {
 					return
 				}
 				// A strictly lower root already holds a witness: this
@@ -383,8 +455,8 @@ func runParallel(p *problem, opts Options, roots []dag.Node, workers int) Result
 						order: append([]dag.Node(nil), e.order...),
 						found: true,
 					}
-				case stAbort:
-					outcomes[r] = rootOutcome{aborted: true}
+				case stFail:
+					outcomes[r] = rootOutcome{done: true}
 				}
 			}
 		}(w)
@@ -394,12 +466,15 @@ func runParallel(p *problem, opts Options, roots []dag.Node, workers int) Result
 	var res Result
 	for _, e := range engines {
 		if e != nil {
+			e.stats.MemoBytes = e.memo.bytes()
+			e.stats.MemoSpilled = e.memo.spilled
 			res.Stats.Add(e.stats)
 		}
 	}
 	res.Stats.Roots = len(roots)
 	res.Stats.Workers = workers
-	res.Exhausted = true
+	// The lowest found root wins: its witness is the deterministic
+	// answer regardless of which governors fired elsewhere.
 	for r := range outcomes {
 		if outcomes[r].found {
 			res.Found = true
@@ -407,11 +482,16 @@ func runParallel(p *problem, opts Options, roots []dag.Node, workers int) Result
 			res.Exhausted = true
 			return res
 		}
-		if outcomes[r].aborted {
-			// Aborts below the best root mean budget exhaustion (lower
-			// roots are never cancelled); without a found witness the
-			// search is inconclusive.
+	}
+	// No witness: the answer is definitive only if every root subtree
+	// was exhausted. Roots aborted (budget, deadline, cancel) or never
+	// claimed after a governor fired leave the instance undecided.
+	res.Exhausted = true
+	for r := range outcomes {
+		if !outcomes[r].done {
 			res.Exhausted = false
+			res.Stop = sh.stopReason()
+			break
 		}
 	}
 	return res

@@ -58,16 +58,25 @@ type Options struct {
 	// splitting the cap is approximate (workers draw states in small
 	// batches) and which states get explored is scheduling-dependent.
 	Budget int64
+	// MaxMemoBytes caps the failed-state memo tables' backing memory in
+	// bytes (0 = unlimited; under parallel splitting each worker gets an
+	// equal share). The cap degrades exactly: when growth would exceed
+	// it the tables freeze — lookups keep working on everything already
+	// stored, new inserts are dropped — so the answer never changes,
+	// only the state count. Stats.MemoSpilled reports the drops.
+	MaxMemoBytes int64
 }
 
 // Stats reports how much work a Run did.
 type Stats struct {
-	States   int64 // search states expanded
-	MemoHits int64 // states rejected by the failed-state table
-	Pruned   int64 // states rejected by closure feasibility pruning
-	Memoized int64 // distinct failed states recorded
-	Roots    int   // admissible first-choice branches
-	Workers  int   // workers actually used
+	States      int64 // search states expanded
+	MemoHits    int64 // states rejected by the failed-state table
+	Pruned      int64 // states rejected by closure feasibility pruning
+	Memoized    int64 // distinct failed states recorded
+	MemoBytes   int64 // memo-table backing memory (summed over workers)
+	MemoSpilled int64 // memo inserts dropped by the MaxMemoBytes cap
+	Roots       int   // admissible first-choice branches
+	Workers     int   // workers actually used
 }
 
 // Add accumulates t into s.
@@ -76,6 +85,8 @@ func (s *Stats) Add(t Stats) {
 	s.MemoHits += t.MemoHits
 	s.Pruned += t.Pruned
 	s.Memoized += t.Memoized
+	s.MemoBytes += t.MemoBytes
+	s.MemoSpilled += t.MemoSpilled
 }
 
 // Result is the outcome of a Run.
@@ -85,10 +96,14 @@ type Result struct {
 	// Found reports whether a satisfying sort exists (definitive).
 	Found bool
 	// Exhausted reports whether the search ran to completion. When
-	// Found is false and Exhausted is false, the budget ran out and
-	// the instance is undecided.
+	// Found is false and Exhausted is false, a governor stopped the
+	// search and the instance is undecided; Stop says which one.
 	Exhausted bool
-	Stats     Stats
+	// Stop records the first governor that halted a non-exhaustive run
+	// (StopNone on definitive results). Fold with Verdict() for the
+	// three-valued In/Out/Inconclusive view.
+	Stop  StopReason
+	Stats Stats
 }
 
 // Spec describes a constrained topological-sort search. Locations are

@@ -66,22 +66,43 @@ func hashKey(key []uint64) uint64 {
 // stateSet is the open-addressing set. Slot i occupies
 // keys[i*kw : (i+1)*kw]; occ marks live slots (a key may legitimately
 // be all zeros — the root state — so no in-band sentinel exists).
+//
+// A byte cap (maxBytes, 0 = unlimited) bounds the backing arrays. When
+// growing past the cap the table freezes instead: lookups keep working
+// on everything already stored, new inserts are dropped and counted as
+// spills. Memoization only skips work the search would redo, so a
+// frozen table degrades exactly — the answer never changes, only the
+// state count.
 type stateSet struct {
-	kw   int
-	keys []uint64
-	occ  []bool
-	size int
-	grow int // resize threshold (¾ load)
+	kw       int
+	keys     []uint64
+	occ      []bool
+	size     int
+	grow     int // resize threshold (¾ load)
+	maxBytes int64
+	frozen   bool
+	spilled  int64 // inserts dropped after freezing
 }
 
 const stateSetInitSlots = 1 << 6
 
-func newStateSet(kw int) *stateSet {
+func newStateSet(kw int) *stateSet { return newStateSetCapped(kw, 0) }
+
+// newStateSetCapped builds a set whose backing arrays never exceed
+// maxBytes bytes (0 = unlimited). The initial allocation shrinks to fit
+// under tight caps.
+func newStateSetCapped(kw int, maxBytes int64) *stateSet {
 	if kw <= 0 {
 		kw = 1
 	}
-	s := &stateSet{kw: kw}
-	s.alloc(stateSetInitSlots)
+	s := &stateSet{kw: kw, maxBytes: maxBytes}
+	slots := stateSetInitSlots
+	if maxBytes > 0 {
+		for slots > 1 && s.bytesFor(slots) > maxBytes {
+			slots /= 2
+		}
+	}
+	s.alloc(slots)
 	return s
 }
 
@@ -90,6 +111,14 @@ func (s *stateSet) alloc(slots int) {
 	s.occ = make([]bool, slots)
 	s.grow = slots / 4 * 3
 }
+
+// bytesFor is the backing-array footprint of a table with `slots` slots.
+func (s *stateSet) bytesFor(slots int) int64 {
+	return int64(slots) * (int64(s.kw)*8 + 1)
+}
+
+// bytes is the current backing-array footprint.
+func (s *stateSet) bytes() int64 { return s.bytesFor(len(s.occ)) }
 
 func (s *stateSet) len() int { return s.size }
 
@@ -116,9 +145,19 @@ func (s *stateSet) contains(key []uint64) bool {
 }
 
 // insert adds key (copying it into the backing array) and reports
-// whether it was newly added.
+// whether it was newly added. Once the byte cap forbids growth the
+// table freezes and further inserts are dropped (counted in spilled).
 func (s *stateSet) insert(key []uint64) bool {
+	if s.frozen {
+		s.spilled++
+		return false
+	}
 	if s.size >= s.grow {
+		if s.maxBytes > 0 && s.bytesFor(len(s.occ)*2) > s.maxBytes {
+			s.frozen = true
+			s.spilled++
+			return false
+		}
 		s.rehash()
 	}
 	mask := len(s.occ) - 1

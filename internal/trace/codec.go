@@ -31,8 +31,15 @@ type NamedTrace struct {
 	Trace *Trace
 }
 
-// ParseTrace reads the trace text format.
-func ParseTrace(r io.Reader) (*NamedTrace, error) {
+// ParseTrace reads the trace text format. Like computation.Parse, it
+// is an input boundary: malformed files return errors, and a recover
+// fence converts any panic a hostile file provokes into one.
+func ParseTrace(r io.Reader) (nt *NamedTrace, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			nt, err = nil, fmt.Errorf("trace: invalid input: %v", rec)
+		}
+	}()
 	var compLines []string
 	type valued struct {
 		node string
@@ -76,9 +83,9 @@ func ParseTrace(r io.Reader) (*NamedTrace, error) {
 		return nil, err
 	}
 
-	named, err := computation.Parse(strings.NewReader(strings.Join(compLines, "\n")))
-	if err != nil {
-		return nil, err
+	named, perr := computation.Parse(strings.NewReader(strings.Join(compLines, "\n")))
+	if perr != nil {
+		return nil, perr
 	}
 	tr := New(named.Comp)
 	for _, v := range values {

@@ -37,7 +37,10 @@ func TestDOTObserverEdges(t *testing.T) {
 
 func TestDOTScheduleColors(t *testing.T) {
 	fx := paperfig.Dekker()
-	s := sched.ListSchedule(fx.Comp, 2, nil)
+	s, err := sched.ListSchedule(fx.Comp, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := DOT(fx.Comp, Options{Schedule: s})
 	if !strings.Contains(out, "fillcolor") || !strings.Contains(out, "@") {
 		t.Fatalf("schedule annotations missing:\n%s", out)
