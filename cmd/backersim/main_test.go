@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const litmus = "../../testdata/stale_read.ccm"
+
+// litmusArgs runs the chaos modes over the stale-read litmus, whose
+// single crossing edge (B -> C under list scheduling on P=2) makes
+// every fault kind a violation.
+func litmusArgs(extra ...string) []string {
+	return append([]string{"-ccm", litmus, "-p", "2"}, extra...)
+}
+
+func TestExploreFindsViolations(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(litmusArgs("-explore"), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s\nstdout:\n%s", code, errb.String(), out.String())
+	}
+	for _, want := range []string{"skip-reconcile 1 2", "skip-flush 2", "delay-reconcile 1 2", "corrupt-read 2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("exploration output missing violation %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestExploreCleanComputationExitsZero(t *testing.T) {
+	// figure2 under P=1 has no crossing edges, so the only fault sites
+	// are corrupt-read and crash-cache; crash-cache on a single cache
+	// that is never bypassed cannot break LC, but corrupted reads can —
+	// restricting the run to a single processor with a write-only
+	// computation is the clean case. Use a fresh ccm with only writes.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "writes.ccm")
+	ccm := "locs x\nnode A W(x)\nnode B W(x)\nedge A B\n"
+	if err := os.WriteFile(path, []byte(ccm), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-explore", "-ccm", path, "-p", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s\nstdout:\n%s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "summary: 0 violations, 0 inconclusive") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestExploreTimeoutInconclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(litmusArgs("-explore", "-timeout", "1ns"), &out, &errb)
+	if code != 3 {
+		t.Fatalf("exit code = %d, want 3; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "deadline governor") {
+		t.Fatalf("output missing governor notice:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-depth", "3"},
+		{"-badflag"},
+		{"stray-positional"},
+		{"-explore", "-sweep"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestMissingCcmFileExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-explore", "-ccm", "no/such/file.ccm"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
+
+// TestExploreDeterminism is the acceptance criterion for replayability:
+// two explorations under the same flags are byte-identical, and a plan
+// extracted from the output replays via -replay to the same verdict and
+// witness trace, byte for byte.
+func TestExploreDeterminism(t *testing.T) {
+	var out1, out2, errb bytes.Buffer
+	if code := run(litmusArgs("-explore"), &out1, &errb); code != 1 {
+		t.Fatalf("first exploration exit = %d; stderr: %s", code, errb.String())
+	}
+	if code := run(litmusArgs("-explore"), &out2, &errb); code != 1 {
+		t.Fatalf("second exploration exit = %d", code)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("explorations differ:\n--- first\n%s\n--- second\n%s", out1.String(), out2.String())
+	}
+
+	// Extract each violation's (plan, verdict, trace) block and replay
+	// the plan through -replay; the block must reproduce byte-for-byte.
+	blocks := extractOutcomes(t, out1.String())
+	if len(blocks) == 0 {
+		t.Fatal("no violation blocks found in exploration output")
+	}
+	for _, block := range blocks {
+		planLines := planOf(t, block)
+		dir := t.TempDir()
+		path := filepath.Join(dir, "plan.chaos")
+		if err := os.WriteFile(path, []byte(planLines), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var rout, rerr bytes.Buffer
+		code := run(litmusArgs("-replay", path), &rout, &rerr)
+		if code != 1 {
+			t.Fatalf("replay of %q exit = %d, want 1; stderr: %s", planLines, code, rerr.String())
+		}
+		if rout.String() != block {
+			t.Errorf("replay of %q diverged:\n--- explored\n%s\n--- replayed\n%s", planLines, block, rout.String())
+		}
+	}
+}
+
+// extractOutcomes splits exploration output into its printOutcome
+// blocks ("plan:\n...\nverdict: ...\ntrace: ...\n").
+func extractOutcomes(t *testing.T, out string) []string {
+	t.Helper()
+	var blocks []string
+	lines := strings.SplitAfter(out, "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimRight(lines[i], "\n") != "plan:" {
+			continue
+		}
+		var b strings.Builder
+		for ; i < len(lines); i++ {
+			b.WriteString(lines[i])
+			if strings.HasPrefix(lines[i], "trace: ") {
+				break
+			}
+		}
+		blocks = append(blocks, b.String())
+	}
+	return blocks
+}
+
+// planOf returns the plan lines of a printOutcome block.
+func planOf(t *testing.T, block string) string {
+	t.Helper()
+	body := strings.TrimPrefix(block, "plan:\n")
+	i := strings.Index(body, "verdict: ")
+	if i < 0 {
+		t.Fatalf("malformed block:\n%s", block)
+	}
+	return body[:i]
+}
+
+// TestShrinkReplayRoundTrip drives the full pipeline: shrink the first
+// litmus violation into an artifact directory, then replay the
+// directory and demand the same verdict and a matching trace.
+func TestShrinkReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var sout, serr bytes.Buffer
+	code := run(litmusArgs("-shrink", "-artifact-dir", dir), &sout, &serr)
+	if code != 1 {
+		t.Fatalf("shrink exit = %d, want 1; stderr:\n%s\nstdout:\n%s", code, serr.String(), sout.String())
+	}
+	if !strings.Contains(sout.String(), "artifact written to "+dir) {
+		t.Fatalf("shrink did not report the artifact:\n%s", sout.String())
+	}
+	for _, f := range []string{"plan.chaos", "schedule.sched", "trace.trace", "computation.dot", "report.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("artifact missing %s: %v", f, err)
+		}
+	}
+
+	var rout, rerr bytes.Buffer
+	code = run([]string{"-replay", dir}, &rout, &rerr)
+	if code != 1 {
+		t.Fatalf("artifact replay exit = %d, want 1; stderr:\n%s\nstdout:\n%s", code, rerr.String(), rout.String())
+	}
+	if !strings.Contains(rout.String(), "replay matches recorded trace: true") {
+		t.Fatalf("replay did not match the recorded trace:\n%s", rout.String())
+	}
+	if !strings.Contains(rout.String(), "verdict: VIOLATED") {
+		t.Fatalf("replay verdict changed:\n%s", rout.String())
+	}
+}
+
+func TestTrialsHealthyRunExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-trials", "10", "-nodes", "10", "-p", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "location consistent: 10/10") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}

@@ -1,66 +1,100 @@
-// Postmortem: verify executed value traces against memory models, in
-// the style of Gibbons & Korach's after-the-fact analysis ([GK94],
-// cited in the paper). A trace fixes what every write stored and every
-// read returned; verification asks whether some observer function in a
-// model explains it.
+// Postmortem: after-the-fact analysis of a broken execution, in the
+// style of Gibbons & Korach ([GK94], cited in the paper) — but instead
+// of a hand-built value trace, the evidence is a *shrunk chaos
+// artifact*: the chaos harness explores fault plans against a BACKER
+// run, shrinks the first LC violation to a locally minimal repro,
+// writes it to disk, and the "postmortem team" loads the bundle back
+// with no memory of how it was produced, replays it, and classifies
+// the broken trace against the paper's model lattice.
 //
 // Run with: go run ./examples/postmortem
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
-	ccm "repro"
+	"repro/internal/chaos"
 	"repro/internal/checker"
-	"repro/internal/memmodel"
-	"repro/internal/trace"
+	"repro/internal/computation"
+	"repro/internal/sched"
 )
 
 func main() {
-	// Two threads over two shared locations x (0) and y (1):
-	//
-	//	thread 1: W(x)=1 ; R(y)      thread 2: W(y)=2 ; R(x)
-	//
-	// The classic litmus test: can both reads return the initial value?
-	c := ccm.NewComputation(2)
-	wx := c.AddNode(ccm.W(0))
-	ry := c.AddNode(ccm.R(1))
-	wy := c.AddNode(ccm.W(1))
-	rx := c.AddNode(ccm.R(0))
-	c.MustAddEdge(wx, ry)
-	c.MustAddEdge(wy, rx)
+	ctx := context.Background()
 
-	tr := trace.New(c)
-	tr.WriteVal[wx] = 1
-	tr.WriteVal[wy] = 2
+	// ------------------------------------------------------------------
+	// Incident: a stale-read computation under BACKER with one injected
+	// fault. A and C read x on p0; B writes x on p1; the edge B -> C
+	// crosses processors, so healthy BACKER reconciles p1's cache before
+	// C runs — C must see B's write.
+	// ------------------------------------------------------------------
+	named, err := computation.ParseString(`
+locs x
+node A R(x)
+node B W(x)
+node C R(x)
+edge A C
+edge B C
+`)
+	check(err)
+	s, err := sched.ListSchedule(named.Comp, 2, nil)
+	check(err)
 
-	outcomes := []struct {
-		name   string
-		ry, rx trace.Value
-	}{
-		{"both reads see the writes", 2, 1},
-		{"r(y) stale, r(x) fresh", trace.Undefined, 1},
-		{"both reads stale (Dekker anomaly)", trace.Undefined, trace.Undefined},
+	// Explore only genuine protocol faults (not value corruption): the
+	// interesting violations are the ones where every individual value
+	// is legitimate but the coherence protocol lost an update.
+	rep, err := chaos.Explore(ctx, s, chaos.Options{
+		Depth:       1,
+		StopAtFirst: true,
+		Kinds:       []chaos.Kind{chaos.SkipReconcile, chaos.DelayReconcile, chaos.SkipFlush},
+	})
+	check(err)
+	if len(rep.Violations) == 0 {
+		fmt.Println("no violation found — nothing to analyse")
+		return
 	}
-	for _, oc := range outcomes {
-		tr.ReadVal[ry] = oc.ry
-		tr.ReadVal[rx] = oc.rx
-		scRes := checker.VerifySC(tr)
-		lcRes := checker.VerifyLC(tr)
-		nnRes, _ := checker.VerifyModel(memmodel.NN, tr, 0)
-		fmt.Printf("%-36s SC=%v LC=%v NN=%v\n", oc.name, scRes.OK, lcRes.OK, nnRes.OK)
+	found := rep.Violations[0]
+	fmt.Printf("exploration found an LC violation after %d plans:\n%s\n", rep.Explored, found.Plan)
+
+	// Shrink it to a locally minimal repro and write the artifact.
+	repro, err := chaos.Shrink(ctx, s, found.Plan, checker.SearchOptions{})
+	check(err)
+	class := chaos.Classify(ctx, repro.Result.Trace, checker.SearchOptions{}, 0)
+	dir, err := os.MkdirTemp("", "chaos-artifact-")
+	check(err)
+	defer os.RemoveAll(dir)
+	check(chaos.WriteArtifact(dir, repro, class))
+	fmt.Printf("shrunk to %d event(s) on %d node(s); artifact in %s\n\n",
+		repro.Plan.Len(), repro.Sched.Comp.NumNodes(), dir)
+
+	// ------------------------------------------------------------------
+	// Postmortem: load the bundle from disk — plan, schedule (with its
+	// computation inline) and the recorded value trace — replay it, and
+	// ask which memory models still explain the broken execution.
+	// ------------------------------------------------------------------
+	art, err := chaos.LoadArtifact(dir)
+	check(err)
+	fmt.Printf("loaded artifact: %d-node computation, P=%d, plan:\n%s",
+		art.Sched.Comp.NumNodes(), art.Sched.P, art.Plan)
+
+	res, match, err := art.Replay()
+	check(err)
+	fmt.Printf("replay reproduces the recorded trace: %v\n", match)
+	fmt.Printf("trace: %v\n\n", res.Trace)
+
+	fmt.Println("model lattice classification of the broken trace:")
+	for _, mv := range chaos.Classify(ctx, art.Trace, checker.SearchOptions{}, 0) {
+		fmt.Printf("  %-3s %v\n", mv.Model+":", mv.Verdict)
 	}
+	fmt.Println("\nthe repro is 1-minimal: the one fault in the plan is the whole")
+	fmt.Println("explanation, and BACKER's coherence guarantee [Luc97] fails with it.")
+}
 
-	// A value no write ever stored is inexplicable under any model.
-	tr.ReadVal[ry] = 99
-	tr.ReadVal[rx] = 1
-	fmt.Printf("%-36s SC=%v LC=%v (out-of-thin-air value)\n",
-		"r(y) returns 99", checker.VerifySC(tr).OK, checker.VerifyLC(tr).OK)
-
-	// Witnesses: the checker returns an explaining observer function.
-	tr.ReadVal[ry] = trace.Undefined
-	tr.ReadVal[rx] = trace.Undefined
-	if res := checker.VerifyLC(tr); res.OK {
-		fmt.Printf("\nLC witness for the Dekker anomaly:\n  %v\n", res.Observer)
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "postmortem:", err)
+		os.Exit(1)
 	}
 }

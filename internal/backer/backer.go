@@ -18,6 +18,14 @@
 // (Section 7 of the paper). The tests and benches machine-check the LC
 // claim with the post-mortem checker, and the fault-injection mode
 // shows the checker catching real coherence bugs.
+//
+// Fault injection is pluggable: an Injector is consulted at every
+// protocol decision point (reconcile before a crossing edge, flush
+// after one, node start, read completion), so faults can be driven
+// probabilistically (Faults) or from a deterministic, replayable plan
+// (internal/chaos). The injector callbacks double as observation hooks:
+// a recording injector that always answers "no fault" sees exactly the
+// protocol actions a healthy run performs.
 package backer
 
 import (
@@ -31,19 +39,94 @@ import (
 	"repro/internal/trace"
 )
 
-// Faults configures deliberate protocol violations for the
-// fault-injection experiments. Probabilities are per opportunity.
+// Injector decides, at each fault site of a run, whether to violate the
+// protocol there. Implementations must be deterministic functions of
+// their own state (e.g. a fault plan, or a seeded Rng) so runs are
+// replayable. The zero decision everywhere is a healthy run.
+type Injector interface {
+	// Validate is called once per run, after the schedule is validated
+	// and before any protocol action, so misconfigured injectors fail
+	// loudly instead of silently injecting nothing.
+	Validate(s *sched.Schedule) error
+	// SkipReconcileAt reports whether to skip the reconcile of src's
+	// processor demanded by the crossing edge src -> dst.
+	SkipReconcileAt(src, dst dag.Node) bool
+	// DelayReconcileAt reports whether the reconcile for the crossing
+	// edge src -> dst should be performed late: the dirty lines are
+	// marked clean immediately, but the write-backs reach main memory
+	// only after dst has executed, so dst fetches from a stale backing
+	// store. Consulted only when the reconcile was not skipped.
+	DelayReconcileAt(src, dst dag.Node) bool
+	// SkipFlushAt reports whether to skip the flush of dst's processor
+	// after its crossing edges.
+	SkipFlushAt(dst dag.Node) bool
+	// CrashCacheAt reports whether processor p's cache is lost (dropped
+	// without write-back) immediately before node u, which starts at
+	// the given tick, executes.
+	CrashCacheAt(u dag.Node, p int, start sched.Tick) bool
+	// CorruptReadAt may replace the value returned by read node u; the
+	// second result reports whether the value was corrupted.
+	CorruptReadAt(u dag.Node, v trace.Value) (trace.Value, bool)
+}
+
+// Faults configures probabilistic protocol violations for the classic
+// fault-injection experiments. Probabilities are per opportunity. It
+// implements Injector; the deterministic fault kinds (delayed
+// reconcile, cache crash, read corruption) are plan-only and never
+// fire probabilistically.
 type Faults struct {
 	SkipReconcile float64 // chance to skip a reconcile before a crossing edge
 	SkipFlush     float64 // chance to skip the flush after a crossing edge
 	Rng           *rand.Rand
 }
 
+// Validate rejects the silent-no-op configuration: nonzero
+// probabilities with a nil Rng used to disable all faults without
+// telling anyone. It also rejects probabilities outside [0, 1].
+func (f *Faults) Validate(*sched.Schedule) error {
+	if f == nil {
+		return nil
+	}
+	for _, p := range []float64{f.SkipReconcile, f.SkipFlush} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("backer: fault probability %v outside [0, 1]", p)
+		}
+	}
+	if f.Rng == nil && (f.SkipReconcile > 0 || f.SkipFlush > 0) {
+		return fmt.Errorf("backer: Faults has nonzero probabilities but nil Rng; " +
+			"no fault would ever fire — seed an Rng or zero the probabilities")
+	}
+	return nil
+}
+
 func (f *Faults) skip(p float64) bool {
 	return f != nil && f.Rng != nil && p > 0 && f.Rng.Float64() < p
 }
 
-// Stats counts protocol events.
+// Injector implementation. skip is nil-receiver safe, so a typed-nil
+// *Faults behaves like "no faults".
+
+func (f *Faults) SkipReconcileAt(src, dst dag.Node) bool {
+	if f == nil {
+		return false
+	}
+	return f.skip(f.SkipReconcile)
+}
+
+func (f *Faults) DelayReconcileAt(src, dst dag.Node) bool { return false }
+
+func (f *Faults) SkipFlushAt(dst dag.Node) bool {
+	if f == nil {
+		return false
+	}
+	return f.skip(f.SkipFlush)
+}
+
+func (f *Faults) CrashCacheAt(dag.Node, int, sched.Tick) bool { return false }
+
+func (f *Faults) CorruptReadAt(_ dag.Node, v trace.Value) (trace.Value, bool) { return v, false }
+
+// Stats counts protocol events and injected faults.
 type Stats struct {
 	Fetches    int
 	Hits       int
@@ -51,6 +134,17 @@ type Stats struct {
 	Flushes    int
 	Writes     int
 	CrossEdges int
+	// Injected faults, by kind.
+	SkippedReconciles int
+	DelayedReconciles int
+	SkippedFlushes    int
+	Crashes           int
+	CorruptedReads    int
+}
+
+// FaultCount is the total number of faults the run injected.
+func (s Stats) FaultCount() int {
+	return s.SkippedReconciles + s.DelayedReconciles + s.SkippedFlushes + s.Crashes + s.CorruptedReads
 }
 
 // Result is one simulated BACKER execution: the trace it produced (with
@@ -61,7 +155,9 @@ type Result struct {
 	Trace    *trace.Trace
 	// ReadObserved[u] is the write node each read u observed (Bottom if
 	// it read uninitialized memory); dag.None... Bottom doubles as the
-	// "no write" value, matching the observer convention.
+	// "no write" value, matching the observer convention. A corrupted
+	// read keeps the writer it physically observed here; only the trace
+	// value is corrupted.
 	ReadObserved map[dag.Node]dag.Node
 	Stats        Stats
 }
@@ -71,10 +167,18 @@ type line struct {
 	dirty  bool
 }
 
+type pendingWrite struct {
+	loc    computation.Loc
+	writer dag.Node
+}
+
 type memory struct {
 	main   []dag.Node // per location: writer whose value main holds
 	caches []map[computation.Loc]line
-	stats  *Stats
+	// pending holds write-backs of delayed reconciles, applied to main
+	// only after the node whose crossing edge demanded them executes.
+	pending []pendingWrite
+	stats   *Stats
 }
 
 func newMemory(numLocs, P int, stats *Stats) *memory {
@@ -93,15 +197,28 @@ func newMemory(numLocs, P int, stats *Stats) *memory {
 }
 
 // reconcile writes every dirty line of processor p back to main memory
-// and marks the lines clean.
-func (m *memory) reconcile(p int) {
+// and marks the lines clean. When delayed, the lines are marked clean
+// but the write-backs are buffered until drainPending.
+func (m *memory) reconcile(p int, delayed bool) {
 	m.stats.Reconciles++
 	for l, ln := range m.caches[p] {
 		if ln.dirty {
-			m.main[l] = ln.writer
+			if delayed {
+				m.pending = append(m.pending, pendingWrite{loc: l, writer: ln.writer})
+			} else {
+				m.main[l] = ln.writer
+			}
 			m.caches[p][l] = line{writer: ln.writer}
 		}
 	}
+}
+
+// drainPending applies buffered delayed write-backs to main memory.
+func (m *memory) drainPending() {
+	for _, pw := range m.pending {
+		m.main[pw.loc] = pw.writer
+	}
+	m.pending = m.pending[:0]
 }
 
 // flush reconciles and then empties processor p's cache.
@@ -113,6 +230,13 @@ func (m *memory) flush(p int) {
 		}
 		delete(m.caches[p], l)
 	}
+}
+
+// crash drops processor p's cache without writing anything back: dirty
+// data is lost.
+func (m *memory) crash(p int) {
+	m.stats.Crashes++
+	m.caches[p] = make(map[computation.Loc]line)
 }
 
 // read returns the write observed by a read of location l on processor
@@ -135,20 +259,27 @@ func (m *memory) write(p int, l computation.Loc, u dag.Node) {
 }
 
 // Run executes the computation according to the schedule under the
-// BACKER protocol and returns the produced trace. faults may be nil.
+// BACKER protocol and returns the produced trace. inj may be nil (or a
+// typed-nil *Faults) for a healthy run.
 //
 // Schedules come from outside the package (simulators, files, tests),
 // so an invalid one is an input error, not an invariant violation: Run
-// validates up front and returns the problem as an error. A panic
-// escaping the protocol body (an internal bug) is converted to an
-// error at this boundary too, so callers feeding hostile inputs get a
-// diagnosis instead of a crash.
-func Run(s *sched.Schedule, faults *Faults) (res *Result, err error) {
+// validates up front and returns the problem as an error — including a
+// misconfigured injector (Injector.Validate), so silently-inert fault
+// configurations fail loudly. A panic escaping the protocol body (an
+// internal bug) is converted to an error at this boundary too, so
+// callers feeding hostile inputs get a diagnosis instead of a crash.
+func Run(s *sched.Schedule, inj Injector) (res *Result, err error) {
 	if s == nil {
 		return nil, fmt.Errorf("backer: nil schedule")
 	}
 	if verr := s.Validate(); verr != nil {
 		return nil, fmt.Errorf("backer: invalid schedule: %w", verr)
+	}
+	if inj != nil {
+		if verr := inj.Validate(s); verr != nil {
+			return nil, fmt.Errorf("backer: invalid injector: %w", verr)
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -166,6 +297,9 @@ func Run(s *sched.Schedule, faults *Faults) (res *Result, err error) {
 	executed := make(map[dag.Node]bool)
 	for _, u := range s.Order {
 		p := s.Proc[u]
+		if inj != nil && inj.CrashCacheAt(u, p, s.Start[u]) {
+			mem.crash(p)
+		}
 		// Crossing edges: every predecessor on another processor forces
 		// a reconcile of that processor's cache and a flush of ours.
 		crossed := false
@@ -175,14 +309,24 @@ func Run(s *sched.Schedule, faults *Faults) (res *Result, err error) {
 			}
 			if s.Proc[v] != p {
 				res.Stats.CrossEdges++
-				if !faults.skip(faultProb(faults, true)) {
-					mem.reconcile(s.Proc[v])
+				switch {
+				case inj != nil && inj.SkipReconcileAt(v, u):
+					res.Stats.SkippedReconciles++
+				case inj != nil && inj.DelayReconcileAt(v, u):
+					res.Stats.DelayedReconciles++
+					mem.reconcile(s.Proc[v], true)
+				default:
+					mem.reconcile(s.Proc[v], false)
 				}
 				crossed = true
 			}
 		}
-		if crossed && !faults.skip(faultProb(faults, false)) {
-			mem.flush(p)
+		if crossed {
+			if inj != nil && inj.SkipFlushAt(u) {
+				res.Stats.SkippedFlushes++
+			} else {
+				mem.flush(p)
+			}
 		}
 
 		op := c.Op(u)
@@ -190,37 +334,36 @@ func Run(s *sched.Schedule, faults *Faults) (res *Result, err error) {
 		case computation.Read:
 			w := mem.read(p, op.Loc)
 			res.ReadObserved[u] = w
+			var v trace.Value
 			if w == observer.Bottom {
-				tr.ReadVal[u] = trace.Undefined
+				v = trace.Undefined
 			} else {
-				tr.ReadVal[u] = tr.WriteVal[w]
+				v = tr.WriteVal[w]
 			}
+			if inj != nil {
+				if cv, corrupted := inj.CorruptReadAt(u, v); corrupted {
+					res.Stats.CorruptedReads++
+					v = cv
+				}
+			}
+			tr.ReadVal[u] = v
 		case computation.Write:
 			mem.write(p, op.Loc, u)
 		}
 		executed[u] = true
+		mem.drainPending()
 	}
 	res.Trace = tr
 	return res, nil
 }
 
-func faultProb(f *Faults, reconcile bool) float64 {
-	if f == nil {
-		return 0
-	}
-	if reconcile {
-		return f.SkipReconcile
-	}
-	return f.SkipFlush
-}
-
 // RunWorkStealing is a convenience wrapper: schedule the computation
 // with randomized work stealing on P processors and run BACKER over it.
 // Invalid simulation parameters (P < 1, nil rng) surface as errors.
-func RunWorkStealing(c *computation.Computation, P int, rng *rand.Rand, faults *Faults) (*Result, error) {
+func RunWorkStealing(c *computation.Computation, P int, rng *rand.Rand, inj Injector) (*Result, error) {
 	s, err := sched.WorkStealing(c, P, nil, rng)
 	if err != nil {
 		return nil, err
 	}
-	return Run(s, faults)
+	return Run(s, inj)
 }

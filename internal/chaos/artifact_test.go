@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checker"
+)
+
+// shrunkLitmusRepro shrinks the litmus skip-reconcile violation into a
+// Repro for artifact tests.
+func shrunkLitmusRepro(t *testing.T) *Repro {
+	t.Helper()
+	s := litmusSchedule(t)
+	rep, err := Shrink(context.Background(), s,
+		NewPlan(Event{Kind: SkipReconcile, Src: 1, Dst: 2}), checker.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestArtifactRoundTrip writes a shrunk repro to disk, loads it back,
+// and replays it: the replayed trace must match the recorded one value
+// for value, and the replayed verdict must still reject LC.
+func TestArtifactRoundTrip(t *testing.T) {
+	rep := shrunkLitmusRepro(t)
+	class := Classify(context.Background(), rep.Result.Trace, checker.SearchOptions{}, 0)
+	dir := t.TempDir()
+	if err := WriteArtifact(dir, rep, class); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{PlanFile, ScheduleFile, TraceFile, DotFile, ReportFile} {
+		if fi, err := os.Stat(filepath.Join(dir, f)); err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact file %s missing or empty (%v)", f, err)
+		}
+	}
+
+	art, err := LoadArtifact(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.Plan.Equal(rep.Plan) {
+		t.Fatalf("loaded plan differs:\n%s\nvs\n%s", art.Plan, rep.Plan)
+	}
+	if art.Sched.Comp.NumNodes() != rep.Sched.Comp.NumNodes() {
+		t.Fatal("loaded schedule has a different computation")
+	}
+	res, match, err := art.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match {
+		t.Fatalf("replay diverged from the recorded trace:\n%v\nvs\n%v", res.Trace, art.Trace)
+	}
+	if !verifyLC(t, res.Trace).Out() {
+		t.Fatal("replayed artifact no longer violates LC")
+	}
+}
+
+// TestArtifactBytesDeterministic: writing the same repro twice produces
+// byte-identical files, so artifacts can be diffed.
+func TestArtifactBytesDeterministic(t *testing.T) {
+	rep := shrunkLitmusRepro(t)
+	class := Classify(context.Background(), rep.Result.Trace, checker.SearchOptions{}, 0)
+	d1, d2 := t.TempDir(), t.TempDir()
+	if err := WriteArtifact(d1, rep, class); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteArtifact(d2, rep, class); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{PlanFile, ScheduleFile, TraceFile, DotFile, ReportFile} {
+		b1, err := os.ReadFile(filepath.Join(d1, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(filepath.Join(d2, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Errorf("%s differs between two writes of the same repro", f)
+		}
+	}
+}
+
+// TestLoadArtifactRejectsMismatch: a trace over a different computation
+// than the schedule's is a corrupt bundle.
+func TestLoadArtifactRejectsMismatch(t *testing.T) {
+	rep := shrunkLitmusRepro(t)
+	class := Classify(context.Background(), rep.Result.Trace, checker.SearchOptions{}, 0)
+	dir := t.TempDir()
+	if err := WriteArtifact(dir, rep, class); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, TraceFile),
+		[]byte("locs a b\nnode X W(a)\nnode Y R(b) = ⊥\nedge X Y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifact(dir); err == nil {
+		t.Fatal("LoadArtifact accepted a trace over the wrong computation")
+	}
+}

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// This file implements the fault-plan text format, one event per line,
+// so plans round-trip through files and CLI flags:
+//
+//	# LC violation: stale cached copy survives the sync
+//	skip-reconcile 1 2     # skip reconcile at the crossing edge 1 -> 2
+//	delay-reconcile 1 2    # reconcile lands only after node 2 ran
+//	skip-flush 2           # skip the flush before node 2
+//	crash-cache 1 3        # drop processor 1's cache at tick 3
+//	corrupt-read 2         # read node 2 returns a corrupted value
+//
+// Nodes are numeric ids of the computation the plan targets; plans are
+// meaningful only together with a (computation, schedule) pair, which
+// the sched codec serializes. Blank lines and '#' comments (full-line
+// or trailing) are ignored. Event order is preserved: Format emits
+// events in plan order and Parse keeps file order.
+
+// Format writes the plan in the text format accepted by Parse.
+func Format(w io.Writer, p *Plan) error {
+	for _, e := range p.Events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse reads a fault plan from r. Like the other codecs it is an
+// input boundary: malformed input of any shape returns an error, never
+// a panic.
+func Parse(r io.Reader) (p *Plan, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p, err = nil, fmt.Errorf("chaos: invalid plan: %v", rec)
+		}
+	}()
+	p = NewPlan()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		kind, kerr := ParseKind(fields[0])
+		if kerr != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, kerr)
+		}
+		args := fields[1:]
+		e := Event{Kind: kind}
+		switch kind {
+		case SkipReconcile, DelayReconcile:
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: want `%s SRC DST`", lineNo, kind)
+			}
+			src, err1 := parseNode(args[0])
+			dst, err2 := parseNode(args[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad node id in %q", lineNo, strings.Join(fields, " "))
+			}
+			e.Src, e.Dst = src, dst
+		case SkipFlush, CorruptRead:
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: want `%s NODE`", lineNo, kind)
+			}
+			dst, derr := parseNode(args[0])
+			if derr != nil {
+				return nil, fmt.Errorf("line %d: bad node id %q", lineNo, args[0])
+			}
+			e.Dst = dst
+		case CrashCache:
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: want `%s PROC TICK`", lineNo, kind)
+			}
+			proc, err1 := strconv.Atoi(args[0])
+			tick, err2 := strconv.ParseInt(args[1], 10, 64)
+			if err1 != nil || err2 != nil || proc < 0 || tick < 0 {
+				return nil, fmt.Errorf("line %d: bad proc/tick in %q", lineNo, strings.Join(fields, " "))
+			}
+			e.Proc, e.Tick = proc, sched.Tick(tick)
+		}
+		p.Events = append(p.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Plan, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseNode(s string) (dag.Node, error) {
+	n, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("chaos: bad node id %q", s)
+	}
+	return dag.Node(n), nil
+}

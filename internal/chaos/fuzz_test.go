@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParsePlan drives the fault-plan parser with arbitrary input.
+// Parse is an input boundary — `backersim -replay` feeds it files — so
+// the contract is: any byte sequence either parses into a plan that
+// round-trips through Format unchanged, or returns an error; never a
+// panic.
+func FuzzParsePlan(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.chaos"))
+	for _, p := range seeds {
+		if b, err := os.ReadFile(p); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Add("skip-reconcile 1 2\nskip-flush 2\n")
+	f.Add("delay-reconcile 3 7 # trailing comment\n")
+	f.Add("crash-cache 0 3\ncorrupt-read 4\n")
+	f.Add("# comment only\n\n")
+	f.Add("skip-reconcile 1\n")            // bad arity
+	f.Add("crash-cache -1 -1\n")           // negative site
+	f.Add("corrupt-read 99999999999999\n") // overflow
+	f.Add("frobnicate 1 2\n")              // unknown kind
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		out := p.String()
+		again, rerr := ParseString(out)
+		if rerr != nil {
+			t.Fatalf("roundtrip re-parse failed: %v\nformatted:\n%s", rerr, out)
+		}
+		if !p.Equal(again) {
+			t.Fatalf("roundtrip changed the plan:\n%s\n->\n%s", p, again)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"repro/internal/backer"
+	"repro/internal/dag"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Injector binds a plan to one run: it implements backer.Injector,
+// fires each event at most once, and records which events fired. The
+// plan itself is never mutated, so one plan can drive many runs, each
+// through its own Injector.
+type Injector struct {
+	plan  *Plan
+	fired []bool
+}
+
+// NewInjector returns a fresh injector for the plan (nil means the
+// empty plan).
+func NewInjector(p *Plan) *Injector {
+	if p == nil {
+		p = NewPlan()
+	}
+	return &Injector{plan: p, fired: make([]bool, len(p.Events))}
+}
+
+// Validate checks every event against the schedule and resets the
+// fired set, so reusing an Injector across runs starts each run clean.
+func (in *Injector) Validate(s *sched.Schedule) error {
+	for _, e := range in.plan.Events {
+		if err := e.validate(s); err != nil {
+			return err
+		}
+	}
+	for i := range in.fired {
+		in.fired[i] = false
+	}
+	return nil
+}
+
+// fire marks and reports the first unfired event matching the filter.
+func (in *Injector) fire(match func(e Event) bool) (Event, bool) {
+	for i, e := range in.plan.Events {
+		if !in.fired[i] && match(e) {
+			in.fired[i] = true
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// SkipReconcileAt fires a SkipReconcile event keyed by the crossing
+// edge src -> dst.
+func (in *Injector) SkipReconcileAt(src, dst dag.Node) bool {
+	_, ok := in.fire(func(e Event) bool {
+		return e.Kind == SkipReconcile && e.Src == src && e.Dst == dst
+	})
+	return ok
+}
+
+// DelayReconcileAt fires a DelayReconcile event keyed by the crossing
+// edge src -> dst.
+func (in *Injector) DelayReconcileAt(src, dst dag.Node) bool {
+	_, ok := in.fire(func(e Event) bool {
+		return e.Kind == DelayReconcile && e.Src == src && e.Dst == dst
+	})
+	return ok
+}
+
+// SkipFlushAt fires a SkipFlush event keyed by the flushing node.
+func (in *Injector) SkipFlushAt(dst dag.Node) bool {
+	_, ok := in.fire(func(e Event) bool {
+		return e.Kind == SkipFlush && e.Dst == dst
+	})
+	return ok
+}
+
+// CrashCacheAt fires a CrashCache event for processor p whose tick has
+// been reached: the crash lands before the first node on p starting at
+// or after the event's tick.
+func (in *Injector) CrashCacheAt(_ dag.Node, p int, start sched.Tick) bool {
+	_, ok := in.fire(func(e Event) bool {
+		return e.Kind == CrashCache && e.Proc == p && e.Tick <= start
+	})
+	return ok
+}
+
+// CorruptReadAt fires a CorruptRead event keyed by the read node.
+func (in *Injector) CorruptReadAt(u dag.Node, v trace.Value) (trace.Value, bool) {
+	if _, ok := in.fire(func(e Event) bool {
+		return e.Kind == CorruptRead && e.Dst == u
+	}); ok {
+		return corruptValue(u), true
+	}
+	return v, false
+}
+
+// Fired reports, per plan event, whether it fired during the last run.
+func (in *Injector) Fired() []bool {
+	return append([]bool(nil), in.fired...)
+}
+
+// AllFired reports whether every plan event fired during the last run.
+// Unfired events are dead weight a shrink would remove.
+func (in *Injector) AllFired() bool {
+	for _, f := range in.fired {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the schedule under the plan and returns the BACKER
+// result along with the injector (for fired-event inspection).
+func Run(s *sched.Schedule, p *Plan) (*backer.Result, *Injector, error) {
+	in := NewInjector(p)
+	res, err := backer.Run(s, in)
+	return res, in, err
+}
+
+var _ backer.Injector = (*Injector)(nil)

@@ -191,7 +191,8 @@ type Result struct {
 }
 
 // Execute runs the program on P processors under randomized work
-// stealing and the BACKER protocol (with optional fault injection),
+// stealing and the BACKER protocol (with optional fault injection —
+// probabilistic *backer.Faults or any deterministic backer.Injector),
 // then evaluates the program's value semantics over the observed
 // observer function: a read returns the evaluated value of the write
 // it observed (Undefined for ⊥), and each write's Compute runs with
@@ -199,7 +200,7 @@ type Result struct {
 //
 // Invalid machine parameters (P < 1, nil rng) surface as errors from
 // the scheduler rather than panics.
-func Execute(p *Program, P int, rng *rand.Rand, faults *backer.Faults) (*Result, error) {
+func Execute(p *Program, P int, rng *rand.Rand, faults backer.Injector) (*Result, error) {
 	s, err := sched.WorkStealing(p.comp, P, nil, rng)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// This file implements a self-contained text format for schedules, so
+// executions are replayable from files: the computation (in its own
+// text format) is embedded alongside the processor assignment and the
+// completion order. A schedule file fully determines a BACKER run —
+// together with a fault plan (internal/chaos) it is a byte-replayable
+// repro.
+//
+//	schedule 2              # processor count
+//	steals 1                # optional bookkeeping
+//	locs x
+//	node A R(x)
+//	node B W(x)
+//	node C R(x)
+//	edge A C
+//	edge B C
+//	assign A 0 0 1          # node proc start finish
+//	assign B 1 0 1
+//	assign C 0 1 2
+//	order A B C
+//
+// Blank lines and '#' comments are ignored. ParseSchedule validates the
+// result, so a file that parses is a runnable schedule.
+
+// FormatSchedule writes the schedule in the text format accepted by
+// ParseSchedule. named supplies the node/location names; its
+// computation must be the schedule's.
+func FormatSchedule(w io.Writer, named *computation.Named, s *Schedule) error {
+	if named.Comp.NumNodes() != s.Comp.NumNodes() {
+		return fmt.Errorf("sched: symbol table for %d nodes, schedule has %d",
+			named.Comp.NumNodes(), s.Comp.NumNodes())
+	}
+	if _, err := fmt.Fprintf(w, "schedule %d\n", s.P); err != nil {
+		return err
+	}
+	if s.Steals > 0 {
+		if _, err := fmt.Fprintf(w, "steals %d\n", s.Steals); err != nil {
+			return err
+		}
+	}
+	if err := named.Format(w); err != nil {
+		return err
+	}
+	for u, name := range named.NodeName {
+		if _, err := fmt.Fprintf(w, "assign %s %d %d %d\n", name, s.Proc[u], s.Start[u], s.Finish[u]); err != nil {
+			return err
+		}
+	}
+	names := make([]string, len(s.Order))
+	for i, u := range s.Order {
+		names[i] = named.NodeName[u]
+	}
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "order %s\n", strings.Join(names, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseSchedule reads the schedule text format. Like the other codecs
+// it is an input boundary: malformed files return errors (a recover
+// fence converts hostile-input panics), and the returned schedule has
+// passed Validate.
+func ParseSchedule(r io.Reader) (named *computation.Named, s *Schedule, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			named, s, err = nil, nil, fmt.Errorf("sched: invalid input: %v", rec)
+		}
+	}()
+	type assign struct {
+		node          string
+		proc          int
+		start, finish Tick
+		line          int
+	}
+	var (
+		compLines  []string
+		assigns    []assign
+		orderNames []string
+		p          = -1
+		steals     = 0
+		haveOrder  bool
+	)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "schedule":
+			if len(fields) != 2 || p >= 0 {
+				return nil, nil, fmt.Errorf("line %d: want one `schedule P`", lineNo)
+			}
+			v, perr := strconv.Atoi(fields[1])
+			if perr != nil || v < 1 {
+				return nil, nil, fmt.Errorf("line %d: bad processor count %q", lineNo, fields[1])
+			}
+			p = v
+		case "steals":
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("line %d: want `steals N`", lineNo)
+			}
+			v, serr := strconv.Atoi(fields[1])
+			if serr != nil || v < 0 {
+				return nil, nil, fmt.Errorf("line %d: bad steal count %q", lineNo, fields[1])
+			}
+			steals = v
+		case "assign":
+			if len(fields) != 5 {
+				return nil, nil, fmt.Errorf("line %d: want `assign NODE PROC START FINISH`", lineNo)
+			}
+			proc, e1 := strconv.Atoi(fields[2])
+			start, e2 := strconv.ParseInt(fields[3], 10, 64)
+			finish, e3 := strconv.ParseInt(fields[4], 10, 64)
+			if e1 != nil || e2 != nil || e3 != nil {
+				return nil, nil, fmt.Errorf("line %d: bad assign numbers", lineNo)
+			}
+			assigns = append(assigns, assign{
+				node: fields[1], proc: proc,
+				start: Tick(start), finish: Tick(finish), line: lineNo,
+			})
+		case "order":
+			if haveOrder {
+				return nil, nil, fmt.Errorf("line %d: duplicate order directive", lineNo)
+			}
+			haveOrder = true
+			orderNames = fields[1:]
+		default:
+			compLines = append(compLines, line)
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, nil, serr
+	}
+	if p < 0 {
+		return nil, nil, fmt.Errorf("sched: missing `schedule P` directive")
+	}
+
+	named, cerr := computation.Parse(strings.NewReader(strings.Join(compLines, "\n")))
+	if cerr != nil {
+		return nil, nil, cerr
+	}
+	c := named.Comp
+	n := c.NumNodes()
+	s = &Schedule{
+		Comp:   c,
+		P:      p,
+		Proc:   make([]int, n),
+		Start:  make([]Tick, n),
+		Finish: make([]Tick, n),
+		Order:  make([]dag.Node, 0, n),
+		Steals: steals,
+	}
+	if len(assigns) != n {
+		return nil, nil, fmt.Errorf("sched: %d assign lines for %d nodes", len(assigns), n)
+	}
+	seen := make([]bool, n)
+	for _, a := range assigns {
+		u, ok := named.NodeID[a.node]
+		if !ok {
+			return nil, nil, fmt.Errorf("line %d: unknown node %q", a.line, a.node)
+		}
+		if seen[u] {
+			return nil, nil, fmt.Errorf("line %d: duplicate assign for %q", a.line, a.node)
+		}
+		seen[u] = true
+		s.Proc[u], s.Start[u], s.Finish[u] = a.proc, a.start, a.finish
+		if a.finish > s.Makespan {
+			s.Makespan = a.finish
+		}
+	}
+	if len(orderNames) != n {
+		return nil, nil, fmt.Errorf("sched: order lists %d nodes, computation has %d", len(orderNames), n)
+	}
+	for _, name := range orderNames {
+		u, ok := named.NodeID[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("sched: unknown node %q in order", name)
+		}
+		s.Order = append(s.Order, u)
+	}
+	if verr := s.Validate(); verr != nil {
+		return nil, nil, verr
+	}
+	return named, s, nil
+}
+
+// ParseScheduleString is ParseSchedule over a string.
+func ParseScheduleString(str string) (*computation.Named, *Schedule, error) {
+	return ParseSchedule(strings.NewReader(str))
+}

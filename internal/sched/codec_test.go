@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+const litmusSchedText = `schedule 2
+steals 1
+locs x
+node A R(x)
+node B W(x)
+node C R(x)
+edge A C
+edge B C
+assign A 0 0 1
+assign B 1 0 1
+assign C 0 1 2
+order A B C
+`
+
+func TestParseScheduleLitmus(t *testing.T) {
+	named, s, err := ParseScheduleString(litmusSchedText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P != 2 || s.Steals != 1 || s.Makespan != 2 {
+		t.Fatalf("P=%d steals=%d makespan=%d", s.P, s.Steals, s.Makespan)
+	}
+	b := named.NodeID["B"]
+	c := named.NodeID["C"]
+	if s.Proc[b] == s.Proc[c] {
+		t.Fatal("parsed schedule lost the crossing edge")
+	}
+}
+
+// TestScheduleCodecRoundTrip: format∘parse is the identity on
+// schedules produced by the simulators.
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	named, s, err := ParseScheduleString(litmusSchedText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := FormatSchedule(&b, named, s); err != nil {
+		t.Fatal(err)
+	}
+	_, again, err := ParseScheduleString(b.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nformatted:\n%s", err, b.String())
+	}
+	if again.P != s.P || again.Makespan != s.Makespan || again.Steals != s.Steals {
+		t.Fatal("roundtrip changed schedule header")
+	}
+	for u := 0; u < s.Comp.NumNodes(); u++ {
+		if again.Proc[u] != s.Proc[u] || again.Start[u] != s.Start[u] || again.Finish[u] != s.Finish[u] {
+			t.Fatalf("roundtrip changed node %d's assignment", u)
+		}
+	}
+	for i := range s.Order {
+		if again.Order[i] != s.Order[i] {
+			t.Fatal("roundtrip changed execution order")
+		}
+	}
+
+	// And a second roundtrip is byte-stable.
+	var b2 strings.Builder
+	named2, _, _ := ParseScheduleString(b.String())
+	if err := FormatSchedule(&b2, named2, again); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Fatalf("format is not byte-stable:\n%s\nvs\n%s", b.String(), b2.String())
+	}
+}
+
+// TestScheduleCodecWorkStealing round-trips a machine-generated
+// schedule end to end.
+func TestScheduleCodecWorkStealing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := dag.Random(rng, 20, 0.3)
+	ops := make([]computation.Op, g.NumNodes())
+	for i := range ops {
+		switch i % 3 {
+		case 0:
+			ops[i] = computation.W(0)
+		case 1:
+			ops[i] = computation.R(0)
+		default:
+			ops[i] = computation.N
+		}
+	}
+	c := computation.MustFrom(g, ops, 1)
+	s, err := WorkStealing(c, 4, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := autoNamedForTest(c)
+	var b strings.Builder
+	if err := FormatSchedule(&b, named, s); err != nil {
+		t.Fatal(err)
+	}
+	_, again, err := ParseScheduleString(b.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if err := again.Validate(); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+}
+
+func autoNamedForTest(c *computation.Computation) *computation.Named {
+	locs := make([]string, c.NumLocs())
+	for l := range locs {
+		locs[l] = "l" + string(rune('a'+l))
+	}
+	named := computation.NewNamed(locs...)
+	for u := 0; u < c.NumNodes(); u++ {
+		named.AddNode("n"+itoa(u), c.Op(dag.Node(u)))
+	}
+	for _, e := range c.Dag().Edges() {
+		named.Comp.MustAddEdge(e[0], e[1])
+	}
+	return named
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for ; n > 0; n /= 10 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+	}
+	return string(digits)
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing schedule":  "locs x\nnode A N\nassign A 0 0 1\norder A\n",
+		"bad proc count":    "schedule 0\nlocs x\nnode A N\nassign A 0 0 1\norder A\n",
+		"missing assign":    "schedule 1\nlocs x\nnode A N\norder A\n",
+		"duplicate assign":  "schedule 1\nlocs x\nnode A N\nassign A 0 0 1\nassign A 0 0 1\norder A\n",
+		"unknown node":      "schedule 1\nlocs x\nnode A N\nassign B 0 0 1\norder A\n",
+		"short order":       "schedule 1\nlocs x\nnode A N\nnode B N\nassign A 0 0 1\nassign B 0 1 2\norder A\n",
+		"proc out of range": "schedule 1\nlocs x\nnode A N\nassign A 5 0 1\norder A\n",
+		"order violates deps": "schedule 1\nlocs x\nnode A N\nnode B N\nedge A B\n" +
+			"assign A 0 1 2\nassign B 0 0 1\norder B A\n",
+	}
+	for name, text := range cases {
+		if _, _, err := ParseScheduleString(text); err == nil {
+			t.Errorf("%s: parser accepted malformed input", name)
+		}
+	}
+}
