@@ -52,6 +52,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/computation"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/stats"
@@ -74,6 +75,7 @@ type config struct {
 	maxStates                  int64
 	workers                    int
 	classifyTries              int
+	rec                        obs.Recorder
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -98,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&cfg.maxStates, "max-states", 0, "per-search state cap (0 = unlimited); exhaustion yields INCONCLUSIVE(budget)")
 	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the searches")
 	fs.IntVar(&cfg.classifyTries, "classify-tries", 200000, "observer-enumeration cap for lattice classification (0 = unlimited)")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -127,18 +130,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
+	sess, err := obsFlags.Start("backersim", args, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "backersim:", err)
+		return 2
+	}
+	cfg.rec = sess.Rec
+
+	var code int
 	switch {
 	case *explore:
-		return runExplore(ctx, cfg, stdout, stderr)
+		code = runExplore(ctx, cfg, stdout, stderr)
 	case *shrink:
-		return runShrink(ctx, cfg, stdout, stderr)
+		code = runShrink(ctx, cfg, stdout, stderr)
 	case *replay != "":
-		return runReplay(ctx, cfg, *replay, stdout, stderr)
+		code = runReplay(ctx, cfg, *replay, stdout, stderr)
 	case *sweep:
-		return runSweep(rand.New(rand.NewSource(cfg.seed)), cfg.shape, stdout, stderr)
+		code = runSweep(rand.New(rand.NewSource(cfg.seed)), cfg.shape, stdout, stderr)
 	default:
-		return runVerification(cfg, stdout, stderr)
+		code = runVerification(cfg, stdout, stderr)
 	}
+	if err := sess.Close(code); err != nil {
+		fmt.Fprintln(stderr, "backersim:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
 }
 
 // searchOptions builds the governed engine options shared by every
@@ -196,7 +214,8 @@ func runExplore(ctx context.Context, cfg config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "backersim:", err)
 		return 1
 	}
-	rep, err := chaos.Explore(ctx, s, chaos.Options{Depth: cfg.depth, Search: cfg.searchOptions()})
+	rep, err := chaos.Explore(ctx, s, chaos.Options{Depth: cfg.depth, Search: cfg.searchOptions(),
+		Recorder: obs.WithRun(cfg.rec, "explore")})
 	if err != nil {
 		fmt.Fprintln(stderr, "backersim:", err)
 		return 1
@@ -226,7 +245,8 @@ func runShrink(ctx context.Context, cfg config, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "backersim:", err)
 		return 1
 	}
-	opts := chaos.Options{Depth: cfg.depth, StopAtFirst: true, Search: cfg.searchOptions()}
+	opts := chaos.Options{Depth: cfg.depth, StopAtFirst: true, Search: cfg.searchOptions(),
+		Recorder: obs.WithRun(cfg.rec, "explore")}
 	rep, err := chaos.Explore(ctx, s, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "backersim:", err)
@@ -240,7 +260,7 @@ func runShrink(ctx context.Context, cfg config, stdout, stderr io.Writer) int {
 		return 0
 	}
 	found := rep.Violations[0]
-	repro, err := chaos.Shrink(ctx, s, found.Plan, cfg.searchOptions())
+	repro, err := chaos.ShrinkRec(ctx, s, found.Plan, cfg.searchOptions(), obs.WithRun(cfg.rec, "shrink"))
 	if err != nil {
 		fmt.Fprintln(stderr, "backersim:", err)
 		return 3 // a governed stop mid-shrink is inconclusive, not a verdict
@@ -305,7 +325,9 @@ func runReplay(ctx context.Context, cfg config, path string, stdout, stderr io.W
 		fmt.Fprintln(stderr, "backersim:", err)
 		return 1
 	}
-	_, verdict, _ := checker.VerifyLCCtx(ctx, res.Trace, cfg.searchOptions())
+	lcOpts := cfg.searchOptions()
+	lcOpts.Recorder = obs.WithRun(cfg.rec, "replay-lc")
+	_, verdict, _ := checker.VerifyLCCtx(ctx, res.Trace, lcOpts)
 	printOutcome(stdout, plan, verdict, res.Trace)
 	if art != nil {
 		match := res.Trace.String() == art.Trace.String()
@@ -331,9 +353,24 @@ func runVerification(cfg config, stdout, stderr io.Writer) int {
 	if cfg.faults > 0 {
 		f = &backer.Faults{SkipReconcile: cfg.faults, SkipFlush: cfg.faults, Rng: rng}
 	}
+	r := obs.WithRun(cfg.rec, "trials")
+	var live *obs.Counters
+	if cfg.rec != nil {
+		live = &obs.Counters{}
+		obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: cfg.trials, Live: live})
+		defer func() {
+			obs.Emit(r, obs.Event{Kind: obs.RunEnd,
+				Str: fmt.Sprintf("%d/%d LC, %d violations caught", lcOK, cfg.trials, caught)})
+		}()
+	}
 	for i := 0; i < cfg.trials; i++ {
 		c := randomMemComputation(rng, cfg.nodes, cfg.locs)
-		res, err := backer.RunWorkStealing(c, cfg.procs, rng, f)
+		s, err := sched.WorkStealing(c, cfg.procs, nil, rng)
+		if err != nil {
+			fmt.Fprintln(stderr, "backersim:", err)
+			return 1
+		}
+		res, err := backer.RunRec(s, f, r)
 		if err != nil {
 			fmt.Fprintln(stderr, "backersim:", err)
 			return 1
@@ -349,6 +386,9 @@ func runVerification(cfg config, stdout, stderr io.Writer) int {
 			scOK++
 		} else if !exhaustive {
 			scUnknown++
+		}
+		if live != nil {
+			live.Done.Add(1)
 		}
 	}
 	fmt.Fprintf(stdout, "BACKER on %d-node computations, %d locations, P=%d, %d trials\n", cfg.nodes, cfg.locs, cfg.procs, cfg.trials)

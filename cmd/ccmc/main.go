@@ -32,11 +32,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/computation"
 	"repro/internal/dag"
 	"repro/internal/expt"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/observer"
 	"repro/internal/paperfig"
 	"repro/internal/viz"
@@ -57,20 +59,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "wall-clock limit for the decisions (0 = none); expiry yields INCONCLUSIVE(deadline)")
 	maxStates := fs.Int64("max-states", 0, "cap on SC search states (0 = unlimited); exhaustion yields INCONCLUSIVE(budget)")
 	maxMemoMB := fs.Int64("max-memo-mb", 0, "cap on SC search memoization memory in MiB (0 = unlimited); exact, never inconclusive")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	sess, err := obsFlags.Start("ccmc", args, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccmc:", err)
+		return 2
+	}
+	code := runChecks(fs, sess.Rec, *model, *explain, *demo, *dot, *workers, *timeout, *maxStates, *maxMemoMB, stdout, stderr)
+	if err := sess.Close(code); err != nil {
+		fmt.Fprintln(stderr, "ccmc:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+func runChecks(fs *flag.FlagSet, rec obs.Recorder, model string, explain, demo, dot bool,
+	workers int, timeout time.Duration, maxStates, maxMemoMB int64, stdout, stderr io.Writer) int {
 
 	var (
 		comp  *computation.Computation
-		obs   *observer.Observer
+		ofn   *observer.Observer
 		named *computation.Named
 	)
-	if *demo {
+	if demo {
 		fx := paperfig.Figure2()
-		comp, obs = fx.Comp, fx.Obs
+		comp, ofn = fx.Comp, fx.Obs
 		fmt.Fprintln(stdout, "checking the built-in Figure 2 pair:")
-		fmt.Fprintf(stdout, "  %v\n  %v\n", comp, obs)
+		fmt.Fprintf(stdout, "  %v\n  %v\n", comp, ofn)
 	} else {
 		if fs.NArg() != 1 {
 			fmt.Fprintln(stderr, "usage: ccmc [-model NAME] [-explain] [-timeout D] [-max-states N] [-max-memo-mb N] FILE | ccmc -demo")
@@ -87,11 +107,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ccmc:", err)
 			return 1
 		}
-		named, comp, obs = named2, named2.Comp, obs2
+		named, comp, ofn = named2, named2.Comp, obs2
 	}
 
-	if *dot {
-		opts := viz.Options{Observer: obs, Title: "computation + observer"}
+	if dot {
+		opts := viz.Options{Observer: ofn, Title: "computation + observer"}
 		if named != nil {
 			opts.NodeNames = named.NodeName
 		}
@@ -103,25 +123,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	models := expt.Models()
-	if *model != "" {
-		m, ok := expt.ModelByName(*model)
+	if model != "" {
+		m, ok := expt.ModelByName(model)
 		if !ok {
-			fmt.Fprintf(stderr, "ccmc: unknown model %q\n", *model)
+			fmt.Fprintf(stderr, "ccmc: unknown model %q\n", model)
 			return 1
 		}
 		models = []memmodel.Model{m}
 	}
 
 	ctx := context.Background()
-	if *timeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	opts := memmodel.SearchOptions{
-		Workers:      *workers,
-		Budget:       *maxStates,
-		MaxMemoBytes: *maxMemoMB << 20,
+		Workers:      workers,
+		Budget:       maxStates,
+		MaxMemoBytes: maxMemoMB << 20,
 	}
 	pred := map[string]memmodel.Predicate{
 		"NN": memmodel.PredNN, "NW": memmodel.PredNW,
@@ -139,11 +159,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		)
 		switch m.Name() {
 		case "SC":
-			scOrder, verdict, scStats = memmodel.SCDecide(ctx, comp, obs, opts)
+			// The SC search runs on the engine, which emits its own
+			// run events; label them with the model name.
+			scOpts := opts
+			scOpts.Recorder = obs.WithRun(rec, "SC")
+			scOrder, verdict, scStats = memmodel.SCDecide(ctx, comp, ofn, scOpts)
 		case "LC":
-			lcSorts, verdict = memmodel.LCDecide(ctx, comp, obs)
+			// LC and the quantified-dag deciders are polynomial and
+			// engine-free; bracket them so recorded sessions still see
+			// one run per decision.
+			r := obs.WithRun(rec, "LC")
+			obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
+			lcSorts, verdict = memmodel.LCDecide(ctx, comp, ofn)
+			obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: verdict.String()})
 		default:
-			qdagViol, verdict = memmodel.QDagDecide(ctx, pred[m.Name()], comp, obs)
+			r := obs.WithRun(rec, m.Name())
+			obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
+			qdagViol, verdict = memmodel.QDagDecide(ctx, pred[m.Name()], comp, ofn)
+			obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: verdict.String()})
 		}
 		anyOut = anyOut || verdict.Out()
 		anyInconclusive = anyInconclusive || verdict.Inconclusive()
@@ -153,7 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stdout, "%-4s %s\n", m.Name(), verdict)
 		}
-		if !*explain {
+		if !explain {
 			continue
 		}
 		switch m.Name() {
@@ -167,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stdout, "     witness sort for location %d: %s\n", l, renderOrder(named, s))
 				}
 			} else if verdict.Out() {
-				if e := memmodel.ExplainLC(comp, obs); e != nil {
+				if e := memmodel.ExplainLC(comp, ofn); e != nil {
 					fmt.Fprintf(stdout, "     %s\n", e)
 				}
 			}
@@ -182,7 +215,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case anyInconclusive:
 		fmt.Fprintln(stderr, "ccmc: inconclusive: raise -timeout/-max-states and retry")
 		return 3
-	case anyOut && *model != "":
+	case anyOut && model != "":
 		return 1
 	}
 	return 0

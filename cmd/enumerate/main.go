@@ -5,41 +5,92 @@
 //
 // Usage:
 //
-//	enumerate [-n MAXNODES] [-locs L] [-persize]
+//	enumerate [-n MAXNODES] [-locs L] [-persize] [-workers W]
+//
+// Exit codes: 0 on success, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"repro/internal/computation"
 	"repro/internal/enum"
 	"repro/internal/expt"
+	"repro/internal/obs"
 	"repro/internal/observer"
 )
 
 func main() {
-	maxNodes := flag.Int("n", 4, "maximum computation size (nodes)")
-	locs := flag.Int("locs", 1, "number of memory locations")
-	perSize := flag.Bool("persize", false, "break counts down by computation size")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *perSize {
-		fmt.Printf("%-6s %-14s %-14s %-12s\n", "size", "computations", "pairs", "max Φ/comp")
-		for n := 0; n <= *maxNodes; n++ {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("enumerate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxNodes := fs.Int("n", 4, "maximum computation size (nodes)")
+	locs := fs.Int("locs", 1, "number of memory locations")
+	perSize := fs.Bool("persize", false, "break counts down by computation size")
+	workers := fs.Int("workers", 0, "parallel sweep workers for the census (0 = GOMAXPROCS)")
+	obsFlags := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "enumerate: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	sess, err := obsFlags.Start("enumerate", args, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "enumerate:", err)
+		return 2
+	}
+	code := runCounts(*maxNodes, *locs, *perSize, *workers, sess.Rec, stdout)
+	if err := sess.Close(code); err != nil {
+		fmt.Fprintln(stderr, "enumerate:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+func runCounts(maxNodes, locs int, perSize bool, workers int, rec obs.Recorder, stdout io.Writer) int {
+	if perSize {
+		r := obs.WithRun(rec, "persize")
+		var live *obs.Counters
+		if rec != nil {
+			live = &obs.Counters{}
+			obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: maxNodes + 1, Live: live})
+		}
+		fmt.Fprintf(stdout, "%-6s %-14s %-14s %-12s\n", "size", "computations", "pairs", "max Φ/comp")
+		for n := 0; n <= maxNodes; n++ {
 			comps, pairs, maxObs := 0, 0, 0
-			enum.EachComputation(n, *locs, func(c *computation.Computation) bool {
+			enum.EachComputation(n, locs, func(c *computation.Computation) bool {
 				comps++
 				k := observer.Count(c, 0)
 				pairs += k
 				if k > maxObs {
 					maxObs = k
 				}
+				if live != nil {
+					live.States.Add(1)
+				}
 				return true
 			})
-			fmt.Printf("%-6d %-14d %-14d %-12d\n", n, comps, pairs, maxObs)
+			fmt.Fprintf(stdout, "%-6d %-14d %-14d %-12d\n", n, comps, pairs, maxObs)
+			if live != nil {
+				live.Done.Add(1)
+			}
 		}
-		return
+		obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: "OK"})
+		return 0
 	}
-	fmt.Print(expt.MembershipCensus(*maxNodes, *locs))
+	r := obs.WithRun(rec, "census")
+	obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
+	fmt.Fprint(stdout, expt.MembershipCensusParallel(maxNodes, locs, workers))
+	obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: "OK"})
+	return 0
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	lattice [-n MAXNODES] [-locs L] [-census] [-star NN|WN|NW] [-props MODEL]
+//	lattice [-n MAXNODES] [-locs L] [-census] [-star NN|WN|NW] [-props MODEL] [-findtrap MODEL]
 //
 // Examples:
 //
@@ -13,63 +13,148 @@
 //	lattice -n 4 -star NN     # Theorem 23: NN* = LC on the interior
 //	lattice -n 4 -star WN     # Section 7 open problem probe
 //	lattice -n 3 -props NN    # completeness/monotonicity/constructibility
+//
+// -workers shards the sweep for the default lattice check and -census.
+// The -star/-props/-findtrap experiments run the serial fixpoint code;
+// setting -workers alongside them is a usage error rather than a
+// silent no-op.
+//
+// Exit codes follow the suite convention: 0 when every checked claim
+// holds, 1 when a check fails (a Figure 1 edge mismatches, a star
+// fixpoint diverges from its target, a property is violated, or
+// -findtrap finds a non-constructibility witness), 2 on usage errors.
+// The sweeps are exhaustive, so there is no inconclusive (3) outcome.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/expt"
+	"repro/internal/obs"
 )
 
 func main() {
-	maxNodes := flag.Int("n", 4, "maximum computation size (nodes)")
-	locs := flag.Int("locs", 1, "number of memory locations")
-	census := flag.Bool("census", false, "print per-model membership counts")
-	star := flag.String("star", "", "run the constructible-version fixpoint for this base model")
-	props := flag.String("props", "", "check completeness/monotonicity/constructibility for this model")
-	findtrap := flag.String("findtrap", "", "search for the smallest non-constructibility witness of this model")
-	workers := flag.Int("workers", 0, "parallel sweep workers for the lattice check (0 = GOMAXPROCS)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lattice", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxNodes := fs.Int("n", 4, "maximum computation size (nodes)")
+	locs := fs.Int("locs", 1, "number of memory locations")
+	census := fs.Bool("census", false, "print per-model membership counts")
+	star := fs.String("star", "", "run the constructible-version fixpoint for this base model")
+	props := fs.String("props", "", "check completeness/monotonicity/constructibility for this model")
+	findtrap := fs.String("findtrap", "", "search for the smallest non-constructibility witness of this model")
+	workers := fs.Int("workers", 0, "parallel sweep workers for the lattice check and -census (0 = GOMAXPROCS)")
+	obsFlags := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "lattice: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	// The serial experiments cannot honor -workers; reject it loudly
+	// instead of ignoring it (the historical behavior).
+	if *star != "" || *props != "" || *findtrap != "" {
+		workersSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				workersSet = true
+			}
+		})
+		if workersSet {
+			fmt.Fprintln(stderr, "lattice: -workers applies only to the default lattice check and -census")
+			return 2
+		}
+	}
+
+	sess, err := obsFlags.Start("lattice", args, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "lattice:", err)
+		return 2
+	}
+	code := runChecked(*maxNodes, *locs, *census, *star, *props, *findtrap, *workers, sess.Rec, stdout, stderr)
+	if err := sess.Close(code); err != nil {
+		fmt.Fprintln(stderr, "lattice:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// runChecked dispatches to the selected experiment and maps its report
+// onto the exit-code convention. rec observes the run: the default
+// lattice check streams per-edge phases and sweep gauges; the other
+// branches bracket their (serial) experiment in a RunStart/RunEnd pair.
+func runChecked(maxNodes, locs int, census bool, star, props, findtrap string, workers int, rec obs.Recorder, stdout, stderr io.Writer) int {
+	// bracket wraps a serial experiment so -report/-trace sessions see
+	// one run per invocation even off the parallel sweep path.
+	bracket := func(name string, fn func() (string, bool)) int {
+		r := obs.WithRun(rec, name)
+		obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
+		out, ok := fn()
+		verdict := "OK"
+		code := 0
+		if !ok {
+			verdict, code = "FAILED", 1
+		}
+		obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: verdict})
+		fmt.Fprint(stdout, out)
+		return code
+	}
 
 	switch {
-	case *findtrap != "":
-		m, ok := expt.ModelByName(*findtrap)
+	case findtrap != "":
+		m, ok := expt.ModelByName(findtrap)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lattice: unknown model %q\n", *findtrap)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "lattice: unknown model %q\n", findtrap)
+			return 2
 		}
-		trap, found := expt.FindTrap(m, *maxNodes, *locs)
-		if !found {
-			fmt.Printf("%s has no non-constructibility witness up to %d nodes, %d location(s)\n",
-				m.Name(), *maxNodes, *locs)
-			return
-		}
-		fmt.Printf("smallest %s trap (the Section 3 adversary wins here):\n", m.Name())
-		fmt.Printf("  %v\n  %v\n  stuck on augmentation by %s\n", trap.Pair.C, trap.Pair.O, trap.Op)
-	case *star != "":
-		m, ok := expt.ModelByName(*star)
+		return bracket("findtrap "+m.Name(), func() (string, bool) {
+			trap, found := expt.FindTrap(m, maxNodes, locs)
+			if !found {
+				return fmt.Sprintf("%s has no non-constructibility witness up to %d nodes, %d location(s)\n",
+					m.Name(), maxNodes, locs), true
+			}
+			return fmt.Sprintf("smallest %s trap (the Section 3 adversary wins here):\n  %v\n  %v\n  stuck on augmentation by %s\n",
+				m.Name(), trap.Pair.C, trap.Pair.O, trap.Op), false
+		})
+	case star != "":
+		m, ok := expt.ModelByName(star)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lattice: unknown model %q\n", *star)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "lattice: unknown model %q\n", star)
+			return 2
 		}
-		rep := expt.RunStar(m, *maxNodes, *locs)
-		fmt.Print(rep)
-	case *props != "":
-		m, ok := expt.ModelByName(*props)
+		return bracket("star "+m.Name(), func() (string, bool) {
+			rep := expt.RunStar(m, maxNodes, locs)
+			return rep.String(), rep.OK()
+		})
+	case props != "":
+		m, ok := expt.ModelByName(props)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "lattice: unknown model %q\n", *props)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "lattice: unknown model %q\n", props)
+			return 2
 		}
-		fmt.Print(expt.RunProperties(m, *maxNodes, *locs))
-	case *census:
-		fmt.Print(expt.MembershipCensus(*maxNodes, *locs))
+		return bracket("props "+m.Name(), func() (string, bool) {
+			rep := expt.RunProperties(m, maxNodes, locs)
+			return rep.String(), rep.OK()
+		})
+	case census:
+		return bracket("census", func() (string, bool) {
+			return expt.MembershipCensusParallel(maxNodes, locs, workers), true
+		})
 	default:
-		rep := expt.RunLatticeParallel(*maxNodes, *locs, *workers)
-		fmt.Print(rep)
+		rep := expt.RunLatticeObs(maxNodes, locs, workers, rec)
+		fmt.Fprint(stdout, rep)
 		if !rep.AllOK() {
-			os.Exit(1)
+			return 1
 		}
+		return 0
 	}
 }

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runLattice runs the CLI and returns (exit code, stdout, stderr).
+func runLattice(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestDefaultLatticeCheck(t *testing.T) {
+	code, out, _ := runLattice(t, "-n", "3")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out)
+	}
+	for _, want := range []string{"Figure 1 lattice", "SC", "LC", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCensus(t *testing.T) {
+	code, out, _ := runLattice(t, "-n", "3", "-census", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; output:\n%s", code, out)
+	}
+	for _, m := range []string{"SC", "LC", "NN", "NW", "WN", "WW"} {
+		if !strings.Contains(out, m) {
+			t.Fatalf("census missing model %s:\n%s", m, out)
+		}
+	}
+}
+
+func TestStarPassAndFail(t *testing.T) {
+	code, out, _ := runLattice(t, "-n", "3", "-star", "NN")
+	if code != 0 {
+		t.Fatalf("passing star: exit code = %d, want 0; output:\n%s", code, out)
+	}
+	// WN* ≠ LC already at size 2, so the 3-node sweep must fail — and
+	// the failure must surface in the exit code, not just the text.
+	code, out, _ = runLattice(t, "-n", "3", "-star", "WN")
+	if code != 1 {
+		t.Fatalf("failing star: exit code = %d, want 1; output:\n%s", code, out)
+	}
+}
+
+func TestPropsPassAndFail(t *testing.T) {
+	code, out, _ := runLattice(t, "-n", "3", "-props", "SC")
+	if code != 0 {
+		t.Fatalf("passing props: exit code = %d, want 0; output:\n%s", code, out)
+	}
+	// NN fails the augmentation criterion at 4 nodes (Figure 4).
+	code, out, _ = runLattice(t, "-n", "4", "-props", "NN")
+	if code != 1 {
+		t.Fatalf("failing props: exit code = %d, want 1; output:\n%s", code, out)
+	}
+}
+
+func TestFindTrapExitCodes(t *testing.T) {
+	code, out, _ := runLattice(t, "-n", "3", "-findtrap", "NN")
+	if code != 0 || !strings.Contains(out, "no non-constructibility witness") {
+		t.Fatalf("trap-free universe: exit code = %d, want 0; output:\n%s", code, out)
+	}
+	code, out, _ = runLattice(t, "-n", "4", "-findtrap", "NN")
+	if code != 1 || !strings.Contains(out, "smallest NN trap") {
+		t.Fatalf("trap found: exit code = %d, want 1; output:\n%s", code, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"bad flag", []string{"-no-such-flag"}},
+		{"positional arg", []string{"extra"}},
+		{"unknown star model", []string{"-star", "XX"}},
+		{"unknown props model", []string{"-props", "XX"}},
+		{"unknown findtrap model", []string{"-findtrap", "XX"}},
+		{"workers with star", []string{"-workers", "2", "-star", "NN"}},
+		{"workers with props", []string{"-workers", "2", "-props", "SC", "-n", "3"}},
+		{"workers with findtrap", []string{"-workers", "2", "-findtrap", "NN", "-n", "3"}},
+	} {
+		if code, out, _ := runLattice(t, tc.args...); code != 2 {
+			t.Errorf("%s: exit code = %d, want 2; output:\n%s", tc.name, code, out)
+		}
+	}
+}
+
+// -workers is honored (not rejected) on the branches that shard.
+func TestWorkersAllowedOnShardedBranches(t *testing.T) {
+	if code, out, _ := runLattice(t, "-n", "3", "-workers", "2"); code != 0 {
+		t.Fatalf("lattice -workers: exit code = %d, want 0; output:\n%s", code, out)
+	}
+}
+
+func TestReportFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	code, _, _ := runLattice(t, "-n", "3", "-star", "WN", "-report", path)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Tool     string `json:"tool"`
+		ExitCode int    `json:"exit_code"`
+		Runs     []struct {
+			Name    string `json:"name"`
+			Outcome string `json:"outcome"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	if rep.Tool != "lattice" || rep.ExitCode != 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Name != "star WN" || rep.Runs[0].Outcome != "FAILED" {
+		t.Fatalf("report runs: %+v", rep.Runs)
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, _, _ := runLattice(t, "-n", "3", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty for a 7-edge lattice check")
+	}
+}

@@ -33,8 +33,10 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/checker"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -61,13 +63,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	witness := fs.Bool("witness", false, "print witness observer functions")
 	demo := fs.Bool("demo", false, "verify the built-in message-passing demo trace")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the searches")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	sess, err := obsFlags.Start("verify", args, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return 2
+	}
+	code := runChecks(fs, sess.Rec, *budget, *maxStates, *timeout, *maxMemoMB, *witness, *demo, *workers, stdout, stderr)
+	if err := sess.Close(code); err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, timeout time.Duration,
+	maxMemoMB int64, witness, demo bool, workers int, stdout, stderr io.Writer) int {
 
 	var nt *trace.NamedTrace
 	var err error
-	if *demo {
+	if demo {
 		nt, err = trace.ParseTraceString(demoTrace)
 		fmt.Fprint(stdout, "verifying the built-in message-passing trace:\n\n"+demoTrace+"\n")
 	} else {
@@ -94,33 +114,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	ctx := context.Background()
-	if *timeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	opts := checker.SearchOptions{Workers: *workers, MaxMemoBytes: *maxMemoMB << 20}
-	opts.Budget = *budget
-	if *maxStates > 0 {
-		opts.Budget = *maxStates
+	opts := checker.SearchOptions{Workers: workers, MaxMemoBytes: maxMemoMB << 20}
+	opts.Budget = budget
+	if maxStates > 0 {
+		opts.Budget = maxStates
 	}
 
 	violated, inconclusive := false, false
 
-	lc, lcVerdict, lcStats := checker.VerifyLCCtx(ctx, tr, opts)
+	// Both checks run on the engine; label each check's run events.
+	lcOpts := opts
+	lcOpts.Recorder = obs.WithRun(rec, "LC")
+	lc, lcVerdict, lcStats := checker.VerifyLCCtx(ctx, tr, lcOpts)
 	fmt.Fprintf(stdout, "LC: %s  (search states: %d)\n", renderVerdict(lcVerdict), lcStats.States)
 	violated = violated || lcVerdict.Out()
 	inconclusive = inconclusive || lcVerdict.Inconclusive()
-	if lcVerdict.In() && *witness {
+	if lcVerdict.In() && witness {
 		fmt.Fprintf(stdout, "    witness: %v\n", lc.Observer)
 	}
 
-	scRes, scVerdict, scStats := checker.VerifySCCtx(ctx, tr, opts)
+	scOpts := opts
+	scOpts.Recorder = obs.WithRun(rec, "SC")
+	scRes, scVerdict, scStats := checker.VerifySCCtx(ctx, tr, scOpts)
 	fmt.Fprintf(stdout, "SC: %s  (search states: %d)\n", renderVerdict(scVerdict), scStats.States)
 	violated = violated || scVerdict.Out()
 	inconclusive = inconclusive || scVerdict.Inconclusive()
 	switch {
-	case scVerdict.In() && *witness:
+	case scVerdict.In() && witness:
 		fmt.Fprintf(stdout, "    witness: %v\n", scRes.Observer)
 	case scVerdict.Inconclusive():
 		fmt.Fprintf(stdout, "    stopped by the %s governor; raise -timeout/-max-states and retry\n", scVerdict.Reason)

@@ -34,9 +34,22 @@ import (
 
 	"repro/internal/computation"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/observer"
 	"repro/internal/sched"
 	"repro/internal/trace"
+)
+
+// Fault-kind spellings for FaultInjected events. These deliberately
+// match the internal/chaos plan codec (chaos imports backer, so the
+// strings cannot be shared as constants without a cycle); the chaos
+// tests pin the correspondence.
+const (
+	faultSkipReconcile  = "skip-reconcile"
+	faultDelayReconcile = "delay-reconcile"
+	faultSkipFlush      = "skip-flush"
+	faultCrashCache     = "crash-cache"
+	faultCorruptRead    = "corrupt-read"
 )
 
 // Injector decides, at each fault site of a run, whether to violate the
@@ -269,7 +282,18 @@ func (m *memory) write(p int, l computation.Loc, u dag.Node) {
 // configurations fail loudly. A panic escaping the protocol body (an
 // internal bug) is converted to an error at this boundary too, so
 // callers feeding hostile inputs get a diagnosis instead of a crash.
-func Run(s *sched.Schedule, inj Injector) (res *Result, err error) {
+func Run(s *sched.Schedule, inj Injector) (*Result, error) {
+	return RunRec(s, inj, nil)
+}
+
+// RunRec is Run with observability: every injected fault is mirrored
+// to rec as a FaultInjected event carrying the chaos codec spelling of
+// the fault kind (Str), the fault-site nodes (Src/Dst, -1 when not
+// applicable), the processor (Worker), and the start tick of the node
+// being executed (N). The protocol body consults rec only where a
+// fault actually fired, so a healthy run emits nothing and a nil rec
+// is exactly Run.
+func RunRec(s *sched.Schedule, inj Injector, rec obs.Recorder) (res *Result, err error) {
 	if s == nil {
 		return nil, fmt.Errorf("backer: nil schedule")
 	}
@@ -299,6 +323,8 @@ func Run(s *sched.Schedule, inj Injector) (res *Result, err error) {
 		p := s.Proc[u]
 		if inj != nil && inj.CrashCacheAt(u, p, s.Start[u]) {
 			mem.crash(p)
+			obs.Emit(rec, obs.Event{Kind: obs.FaultInjected, Str: faultCrashCache,
+				Src: int(u), Dst: -1, Worker: p, N: int64(s.Start[u])})
 		}
 		// Crossing edges: every predecessor on another processor forces
 		// a reconcile of that processor's cache and a flush of ours.
@@ -312,8 +338,12 @@ func Run(s *sched.Schedule, inj Injector) (res *Result, err error) {
 				switch {
 				case inj != nil && inj.SkipReconcileAt(v, u):
 					res.Stats.SkippedReconciles++
+					obs.Emit(rec, obs.Event{Kind: obs.FaultInjected, Str: faultSkipReconcile,
+						Src: int(v), Dst: int(u), Worker: s.Proc[v], N: int64(s.Start[u])})
 				case inj != nil && inj.DelayReconcileAt(v, u):
 					res.Stats.DelayedReconciles++
+					obs.Emit(rec, obs.Event{Kind: obs.FaultInjected, Str: faultDelayReconcile,
+						Src: int(v), Dst: int(u), Worker: s.Proc[v], N: int64(s.Start[u])})
 					mem.reconcile(s.Proc[v], true)
 				default:
 					mem.reconcile(s.Proc[v], false)
@@ -324,6 +354,8 @@ func Run(s *sched.Schedule, inj Injector) (res *Result, err error) {
 		if crossed {
 			if inj != nil && inj.SkipFlushAt(u) {
 				res.Stats.SkippedFlushes++
+				obs.Emit(rec, obs.Event{Kind: obs.FaultInjected, Str: faultSkipFlush,
+					Src: -1, Dst: int(u), Worker: p, N: int64(s.Start[u])})
 			} else {
 				mem.flush(p)
 			}
@@ -343,6 +375,8 @@ func Run(s *sched.Schedule, inj Injector) (res *Result, err error) {
 			if inj != nil {
 				if cv, corrupted := inj.CorruptReadAt(u, v); corrupted {
 					res.Stats.CorruptedReads++
+					obs.Emit(rec, obs.Event{Kind: obs.FaultInjected, Str: faultCorruptRead,
+						Src: int(u), Dst: -1, Worker: p, N: int64(s.Start[u])})
 					v = cv
 				}
 			}

@@ -1,0 +1,62 @@
+package backer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// RunRec must mirror exactly the faults it injects: one FaultInjected
+// event per counted fault, with the chaos codec spelling, and nothing
+// on a healthy run.
+func TestRunRecMirrorsFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomMemComputation(rng, 12, 2)
+	s, err := sched.WorkStealing(c, 3, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var evs []obs.Event
+	rec := obs.RecorderFunc(func(ev obs.Event) { evs = append(evs, ev) })
+
+	// Healthy run: no events.
+	if _, err := RunRec(s, nil, rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("healthy run emitted %d events", len(evs))
+	}
+
+	// Every crossing edge skips its reconcile and every crossed node its
+	// flush: the event stream must match the fault counters one-to-one.
+	inj := &Faults{SkipReconcile: 1, SkipFlush: 1, Rng: rand.New(rand.NewSource(1))}
+	res, err := RunRec(s, inj, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FaultCount() == 0 {
+		t.Fatal("schedule has no crossing edges; pick a seed that spreads work")
+	}
+	byKind := map[string]int{}
+	for _, ev := range evs {
+		if ev.Kind != obs.FaultInjected {
+			t.Fatalf("unexpected event %v", ev.Kind)
+		}
+		byKind[ev.Str]++
+		if ev.Str == faultSkipReconcile && (ev.Src < 0 || ev.Dst < 0) {
+			t.Fatalf("skip-reconcile without fault site: %+v", ev)
+		}
+	}
+	if byKind[faultSkipReconcile] != res.Stats.SkippedReconciles {
+		t.Errorf("skip-reconcile events %d != counter %d", byKind[faultSkipReconcile], res.Stats.SkippedReconciles)
+	}
+	if byKind[faultSkipFlush] != res.Stats.SkippedFlushes {
+		t.Errorf("skip-flush events %d != counter %d", byKind[faultSkipFlush], res.Stats.SkippedFlushes)
+	}
+	if len(evs) != res.Stats.FaultCount() {
+		t.Errorf("%d events for %d faults", len(evs), res.Stats.FaultCount())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/computation"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/search"
 )
@@ -76,6 +77,12 @@ type Options struct {
 	// budget, memo cap); contexts and deadlines flow through Explore's
 	// ctx argument.
 	Search checker.SearchOptions
+	// Recorder receives sweep-level events: a RunStart with live plan
+	// gauges, one PlanDone per explored plan (its verdict stream), and a
+	// RunEnd summary. Deliberately separate from Search.Recorder — a
+	// sweep runs thousands of tiny engine searches, and mirroring each
+	// one's full event stream would bury the per-plan signal.
+	Recorder obs.Recorder
 }
 
 // Outcome is one explored plan together with the LC verdict of the run
@@ -126,6 +133,20 @@ func Explore(ctx context.Context, s *sched.Schedule, opts Options) (*Report, err
 	if depth == 2 {
 		rep.Planned += len(sites) * (len(sites) - 1) / 2
 	}
+	rec := opts.Recorder
+	var live *obs.Counters
+	if rec != nil {
+		live = &obs.Counters{}
+		obs.Emit(rec, obs.Event{Kind: obs.RunStart, Total: rep.Planned, Live: live})
+		defer func() {
+			outcome := fmt.Sprintf("%d violations / %d plans", len(rep.Violations), rep.Explored)
+			if rep.Stop != search.StopNone {
+				outcome += " (stopped: " + rep.Stop.String() + ")"
+			}
+			obs.Emit(rec, obs.Event{Kind: obs.RunEnd, Str: outcome,
+				Stats: &obs.Stats{States: int64(rep.Explored)}})
+		}()
+	}
 
 	tryPlan := func(p *Plan) (done bool) {
 		if err := ctx.Err(); err != nil {
@@ -142,6 +163,12 @@ func Explore(ctx context.Context, s *sched.Schedule, opts Options) (*Report, err
 		}
 		rep.Explored++
 		_, verdict, _ := checker.VerifyLCCtx(ctx, res.Trace, opts.Search)
+		if rec != nil {
+			live.States.Add(1)
+			live.Done.Add(1)
+			obs.Emit(rec, obs.Event{Kind: obs.PlanDone,
+				N: int64(rep.Explored - 1), Str: verdict.String(), Total: p.Len()})
+		}
 		switch {
 		case verdict.Out():
 			rep.Violations = append(rep.Violations, Outcome{Plan: p, Verdict: verdict, Result: res})

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/obs"
+)
+
+type eventLog struct {
+	mu  sync.Mutex
+	evs []obs.Event
+}
+
+func (l *eventLog) Record(ev obs.Event) {
+	l.mu.Lock()
+	l.evs = append(l.evs, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) byKind(k obs.Kind) []obs.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []obs.Event
+	for _, ev := range l.evs {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Explore must stream one PlanDone per explored plan, bracketed by a
+// RunStart/RunEnd pair, with verdict spellings the report collector
+// can count violations from.
+func TestExploreEmitsPlanStream(t *testing.T) {
+	s := litmusSchedule(t)
+	log := &eventLog{}
+	rep, err := Explore(context.Background(), s, Options{Depth: 1, Recorder: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, ends := log.byKind(obs.RunStart), log.byKind(obs.RunEnd)
+	if len(starts) != 1 || len(ends) != 1 {
+		t.Fatalf("%d starts, %d ends", len(starts), len(ends))
+	}
+	if starts[0].Total != rep.Planned || starts[0].Live == nil {
+		t.Fatalf("RunStart %+v, planned %d", starts[0], rep.Planned)
+	}
+	plans := log.byKind(obs.PlanDone)
+	if len(plans) != rep.Explored {
+		t.Fatalf("%d PlanDone events for %d explored plans", len(plans), rep.Explored)
+	}
+	var violated int
+	for i, ev := range plans {
+		if ev.N != int64(i) {
+			t.Fatalf("plan %d has index %d", i, ev.N)
+		}
+		if ev.Str == "OUT" {
+			violated++
+		}
+	}
+	if violated != len(rep.Violations) {
+		t.Fatalf("%d OUT events for %d violations", violated, len(rep.Violations))
+	}
+	if got := starts[0].Live.Done.Load(); got != int64(rep.Explored) {
+		t.Fatalf("live Done %d, explored %d", got, rep.Explored)
+	}
+}
+
+// ShrinkRec must report each accepted shrink iteration and a final
+// summary, and leave the repro identical to an unobserved Shrink.
+func TestShrinkRecEmitsSteps(t *testing.T) {
+	s := litmusSchedule(t)
+	padded := NewPlan(
+		Event{Kind: CrashCache, Proc: 1, Tick: 0},
+		Event{Kind: SkipReconcile, Src: 1, Dst: 2},
+		Event{Kind: CrashCache, Proc: 0, Tick: 0},
+	)
+	log := &eventLog{}
+	rep, err := ShrinkRec(context.Background(), s, padded, checker.SearchOptions{}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Shrink(context.Background(), s, padded, checker.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Plan.Equal(plain.Plan) || rep.OracleRuns != plain.OracleRuns {
+		t.Fatalf("observed shrink diverged: %v (%d runs) vs %v (%d runs)",
+			rep.Plan, rep.OracleRuns, plain.Plan, plain.OracleRuns)
+	}
+
+	steps := log.byKind(obs.ShrinkStep)
+	if len(steps) == 0 {
+		t.Fatal("padded plan shrank without ShrinkStep events")
+	}
+	for _, ev := range steps {
+		if ev.Str != "drop-event" && ev.Str != "truncate" {
+			t.Fatalf("unknown shrink stage %q", ev.Str)
+		}
+		if ev.N <= 0 {
+			t.Fatalf("shrink step with no oracle runs: %+v", ev)
+		}
+	}
+	ends := log.byKind(obs.RunEnd)
+	if len(ends) != 1 || ends[0].Stats == nil || ends[0].Stats.States != int64(rep.OracleRuns) {
+		t.Fatalf("RunEnd %+v, oracle runs %d", ends, rep.OracleRuns)
+	}
+}

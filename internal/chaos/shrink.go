@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/checker"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/search"
 )
@@ -47,10 +48,28 @@ type Repro struct {
 // a violation", which keeps shrunk plans sound but may leave them
 // larger than minimal. Shrink fails if the input does not violate LC.
 func Shrink(ctx context.Context, s *sched.Schedule, p *Plan, opts checker.SearchOptions) (*Repro, error) {
+	return ShrinkRec(ctx, s, p, opts, nil)
+}
+
+// ShrinkRec is Shrink with observability: rec receives a RunStart
+// (Total = the input plan's length), one ShrinkStep per accepted
+// shrink iteration (Str names the stage, "drop-event" or "truncate";
+// N counts oracle runs so far; Total is the plan length after the
+// step), and a RunEnd summarizing the repro. A nil rec is exactly
+// Shrink.
+func ShrinkRec(ctx context.Context, s *sched.Schedule, p *Plan, opts checker.SearchOptions, rec obs.Recorder) (*Repro, error) {
 	if s == nil || p == nil {
 		return nil, fmt.Errorf("chaos: Shrink needs a schedule and a plan")
 	}
 	runs := 0
+	step := func(stage string, planLen int) {
+		if rec != nil {
+			obs.Emit(rec, obs.Event{Kind: obs.ShrinkStep, Str: stage, N: int64(runs), Total: planLen})
+		}
+	}
+	if rec != nil {
+		obs.Emit(rec, obs.Event{Kind: obs.RunStart, Total: p.Len()})
+	}
 	oracle := func(s *sched.Schedule, p *Plan) (bool, *backer.Result, error) {
 		if err := ctx.Err(); err != nil {
 			return false, nil, fmt.Errorf("chaos: shrink stopped (%s): %w", search.ContextStopReason(err), err)
@@ -72,17 +91,23 @@ func Shrink(ctx context.Context, s *sched.Schedule, p *Plan, opts checker.Search
 		return nil, fmt.Errorf("chaos: plan does not violate LC on this schedule; nothing to shrink")
 	}
 
-	cur, res, err := shrinkEvents(oracle, s, p, res)
+	cur, res, err := shrinkEvents(oracle, s, p, res, step)
 	if err != nil {
 		return nil, err
 	}
-	ts, tp, tres, nodeMap, err := truncateSchedule(oracle, s, cur, res)
+	ts, tp, tres, nodeMap, err := truncateSchedule(oracle, s, cur, res, step)
 	if err != nil {
 		return nil, err
 	}
-	tp, tres, err = shrinkEvents(oracle, ts, tp, tres)
+	tp, tres, err = shrinkEvents(oracle, ts, tp, tres, step)
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		obs.Emit(rec, obs.Event{Kind: obs.RunEnd,
+			Str: fmt.Sprintf("shrunk to %d events / %d nodes in %d oracle runs",
+				tp.Len(), ts.Comp.NumNodes(), runs),
+			Stats: &obs.Stats{States: int64(runs)}})
 	}
 	return &Repro{Sched: ts, Plan: tp, Result: tres, NodeMap: nodeMap, OracleRuns: runs}, nil
 }
@@ -91,8 +116,8 @@ type oracleFunc func(*sched.Schedule, *Plan) (bool, *backer.Result, error)
 
 // shrinkEvents greedily removes plan events to a fixpoint, preserving
 // the violation. res is the run of (s, p); the returned result is the
-// run of the returned plan.
-func shrinkEvents(oracle oracleFunc, s *sched.Schedule, p *Plan, res *backer.Result) (*Plan, *backer.Result, error) {
+// run of the returned plan. step reports each accepted removal.
+func shrinkEvents(oracle oracleFunc, s *sched.Schedule, p *Plan, res *backer.Result, step func(string, int)) (*Plan, *backer.Result, error) {
 	cur := p.Clone()
 	for changed := true; changed; {
 		changed = false
@@ -106,6 +131,7 @@ func shrinkEvents(oracle oracleFunc, s *sched.Schedule, p *Plan, res *backer.Res
 				cur, res = cand, candRes
 				changed = true
 				i--
+				step("drop-event", cur.Len())
 			}
 		}
 	}
@@ -115,7 +141,7 @@ func shrinkEvents(oracle oracleFunc, s *sched.Schedule, p *Plan, res *backer.Res
 // truncateSchedule finds the shortest execution prefix of s on which p
 // still violates LC, and returns the induced (schedule, plan) with node
 // ids remapped, plus the new-to-old node map.
-func truncateSchedule(oracle oracleFunc, s *sched.Schedule, p *Plan, res *backer.Result) (*sched.Schedule, *Plan, *backer.Result, []dag.Node, error) {
+func truncateSchedule(oracle oracleFunc, s *sched.Schedule, p *Plan, res *backer.Result, step func(string, int)) (*sched.Schedule, *Plan, *backer.Result, []dag.Node, error) {
 	n := s.Comp.NumNodes()
 	// The prefix must contain every node a plan event references, or
 	// the event could never fire.
@@ -147,6 +173,9 @@ func truncateSchedule(oracle oracleFunc, s *sched.Schedule, p *Plan, res *backer
 			return nil, nil, nil, nil, err
 		}
 		if violates {
+			if k < n {
+				step("truncate", tp.Len())
+			}
 			return ts, tp, tres, nodeMap, nil
 		}
 	}

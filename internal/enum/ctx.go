@@ -8,7 +8,9 @@ import (
 
 	"repro/internal/computation"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/observer"
+	"repro/internal/search"
 )
 
 // This file adds governed variants of the universe sweeps: the same
@@ -57,18 +59,41 @@ func CompareCtx(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs int)
 // ctx.Err() when cancelled. The merged partial Relation is returned
 // either way.
 func CompareParallelCtx(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs, workers int) (Relation, error) {
+	return compareParallel(ctx, a, b, maxNodes, numLocs, workers, nil)
+}
+
+// CompareParallelObs is CompareParallelCtx with observability: rec
+// receives a RunStart carrying live gauges (pairs visited as States,
+// shards finished as Done), one WorkerDone per shard, and a RunEnd
+// whose Str summarizes the relation. A nil rec is exactly
+// CompareParallelCtx.
+func CompareParallelObs(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs, workers int, rec obs.Recorder) (Relation, error) {
+	return compareParallel(ctx, a, b, maxNodes, numLocs, workers, rec)
+}
+
+// compareParallel is the shared body of every parallel compare: a
+// sharded sweep with per-worker accumulators merged in shard order
+// (see mergeShards for why order matters). Gauge publication rides the
+// existing ctx-poll tick, so an attached recorder costs one atomic add
+// per ctxPollMask+1 pairs and nothing per pair.
+func compareParallel(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs, workers int, rec obs.Recorder) (Relation, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var live *obs.Counters
+	if rec != nil {
+		live = &obs.Counters{}
+		obs.Emit(rec, obs.Event{Kind: obs.RunStart, Total: workers, Live: live})
+	}
 	var cancelled atomic.Bool
-	results := make(chan Relation, workers)
+	results := make([]Relation, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			var r Relation
-			tick := 0
+			r := &results[shard]
+			tick, published := 0, 0
 			for n := 0; n <= maxNodes; n++ {
 				eachComputationShard(n, numLocs, shard, workers, func(c *computation.Computation) bool {
 					observer.Enumerate(c, func(o *observer.Observer) bool {
@@ -77,11 +102,15 @@ func CompareParallelCtx(ctx context.Context, a, b memmodel.Model, maxNodes, numL
 							if ctx.Err() != nil {
 								cancelled.Store(true)
 							}
+							if live != nil {
+								live.States.Add(int64(tick - published))
+								published = tick
+							}
 						}
 						if cancelled.Load() {
 							return false
 						}
-						compareInto(&r, a, b, c, o)
+						compareInto(r, a, b, c, o)
 						return true
 					})
 					return !cancelled.Load()
@@ -90,24 +119,38 @@ func CompareParallelCtx(ctx context.Context, a, b memmodel.Model, maxNodes, numL
 					break
 				}
 			}
-			results <- r
+			if rec != nil {
+				live.States.Add(int64(tick - published))
+				live.Done.Add(1)
+				obs.Emit(rec, obs.Event{Kind: obs.WorkerDone, Worker: shard,
+					Stats: &obs.Stats{States: int64(tick), Workers: workers}})
+			}
 		}(w)
 	}
 	wg.Wait()
-	close(results)
-	var merged Relation
-	for r := range results {
-		merged.AOnly += r.AOnly
-		merged.BOnly += r.BOnly
-		merged.Both += r.Both
-		if merged.WitnessAOnly == nil {
-			merged.WitnessAOnly = r.WitnessAOnly
-		}
-		if merged.WitnessBOnly == nil {
-			merged.WitnessBOnly = r.WitnessBOnly
-		}
+	merged := mergeShards(results)
+	if rec != nil {
+		obs.Emit(rec, obs.Event{Kind: obs.RunEnd, Str: relationOutcome(merged, ctx.Err()),
+			Stats: &obs.Stats{States: live.States.Load(), Workers: workers}})
 	}
 	return merged, ctx.Err()
+}
+
+// relationOutcome spells a relation for RunEnd events, mirroring the
+// wording the enumerate CLI prints.
+func relationOutcome(r Relation, err error) string {
+	switch {
+	case err != nil:
+		return "INCONCLUSIVE(" + search.ContextStopReason(err).String() + ")"
+	case r.Equal():
+		return "equal"
+	case r.StrictlyStronger():
+		return "A strictly stronger"
+	case r.Incomparable():
+		return "incomparable"
+	default:
+		return "B strictly stronger"
+	}
 }
 
 // compareInto classifies one pair against both models, accumulating

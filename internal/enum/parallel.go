@@ -1,6 +1,7 @@
 package enum
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -13,8 +14,13 @@ import (
 // This file parallelizes the universe sweeps. The universe of dags on n
 // nodes is indexed by an edge bitmask, so it shards trivially:
 // worker w handles the masks congruent to w modulo the worker count.
-// Each worker owns private accumulators; results merge over a channel
-// when the worker finishes (share memory by communicating).
+// Each worker owns private accumulators; workers write their result
+// into a shard-indexed slice and the merge walks that slice in shard
+// order. (An earlier version merged from a channel in completion
+// order, which made the reported witness depend on goroutine timing:
+// the counts were stable but WitnessAOnly/WitnessBOnly flapped between
+// runs. Shard-order merging makes the whole Relation — witnesses
+// included — a pure function of (universe, worker count).)
 
 // eachComputationShard enumerates the computations of exactly n nodes
 // whose dag mask is ≡ shard (mod shards).
@@ -52,52 +58,13 @@ func eachComputationShard(n, numLocs, shard, shards int, fn func(c *computation.
 	})
 }
 
-// CompareParallel is Compare distributed over `workers` goroutines
-// (defaults to GOMAXPROCS when workers <= 0). The result is identical
-// to Compare up to which witness pair is reported (the lowest-shard
-// witness wins, deterministically for a fixed worker count).
-func CompareParallel(a, b memmodel.Model, maxNodes, numLocs, workers int) Relation {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	results := make(chan Relation, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(shard int) {
-			defer wg.Done()
-			var r Relation
-			for n := 0; n <= maxNodes; n++ {
-				eachComputationShard(n, numLocs, shard, workers, func(c *computation.Computation) bool {
-					observer.Enumerate(c, func(o *observer.Observer) bool {
-						inA := a.Contains(c, o)
-						inB := b.Contains(c, o)
-						switch {
-						case inA && inB:
-							r.Both++
-						case inA:
-							r.AOnly++
-							if r.WitnessAOnly == nil {
-								r.WitnessAOnly = &memmodel.Pair{C: c, O: o.Clone()}
-							}
-						case inB:
-							r.BOnly++
-							if r.WitnessBOnly == nil {
-								r.WitnessBOnly = &memmodel.Pair{C: c, O: o.Clone()}
-							}
-						}
-						return true
-					})
-					return true
-				})
-			}
-			results <- r
-		}(w)
-	}
-	wg.Wait()
-	close(results)
+// mergeShards folds per-shard relations in shard-index order. The
+// counts commute, but the witnesses don't: keeping the first non-nil
+// witness while walking shards in index order is what pins the report
+// to the lowest shard.
+func mergeShards(results []Relation) Relation {
 	var merged Relation
-	for r := range results {
+	for _, r := range results {
 		merged.AOnly += r.AOnly
 		merged.BOnly += r.BOnly
 		merged.Both += r.Both
@@ -111,13 +78,71 @@ func CompareParallel(a, b memmodel.Model, maxNodes, numLocs, workers int) Relati
 	return merged
 }
 
+// CompareParallel is Compare distributed over `workers` goroutines
+// (defaults to GOMAXPROCS when workers <= 0). The result is identical
+// to Compare up to which witness pair is reported (the lowest-shard
+// witness wins, deterministically for a fixed worker count).
+func CompareParallel(a, b memmodel.Model, maxNodes, numLocs, workers int) Relation {
+	r, _ := compareParallel(context.Background(), a, b, maxNodes, numLocs, workers, nil)
+	return r
+}
+
+// CensusParallel counts, for each model, the universe pairs it
+// contains, plus the universe total, sharded over workers (<= 0 means
+// GOMAXPROCS). Pure counts commute, so the shard merge is trivially
+// deterministic.
+func CensusParallel(models []memmodel.Model, maxNodes, numLocs, workers int) ([]int, int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type shardCount struct {
+		counts []int
+		total  int
+	}
+	results := make([]shardCount, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			counts := make([]int, len(models))
+			total := 0
+			for n := 0; n <= maxNodes; n++ {
+				eachComputationShard(n, numLocs, shard, workers, func(c *computation.Computation) bool {
+					observer.Enumerate(c, func(o *observer.Observer) bool {
+						total++
+						for i, m := range models {
+							if m.Contains(c, o) {
+								counts[i]++
+							}
+						}
+						return true
+					})
+					return true
+				})
+			}
+			results[shard] = shardCount{counts: counts, total: total}
+		}(w)
+	}
+	wg.Wait()
+	out := make([]int, len(models))
+	total := 0
+	for _, r := range results {
+		total += r.total
+		for i, c := range r.counts {
+			out[i] += c
+		}
+	}
+	return out, total
+}
+
 // CountPairsParallel counts all (computation, observer) pairs of the
 // universe using `workers` goroutines.
 func CountPairsParallel(maxNodes, numLocs, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make(chan int, workers)
+	results := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -130,13 +155,12 @@ func CountPairsParallel(maxNodes, numLocs, workers int) int {
 					return true
 				})
 			}
-			results <- total
+			results[shard] = total
 		}(w)
 	}
 	wg.Wait()
-	close(results)
 	total := 0
-	for t := range results {
+	for _, t := range results {
 		total += t
 	}
 	return total

@@ -34,6 +34,45 @@ func TestCompareParallelWitnesses(t *testing.T) {
 	}
 }
 
+// witnessKey fingerprints a witness pair for cross-run comparison.
+func witnessKey(p *memmodel.Pair) string {
+	if p == nil {
+		return "<none>"
+	}
+	return p.C.String() + " / " + p.O.String()
+}
+
+// The reported witness must be a pure function of (universe, worker
+// count): repeated runs at the same worker count may not flap. This
+// regression-tests the completion-order merge bug — the old channel
+// merge produced whichever shard's witness arrived first, so WN-vs-NN
+// (witnesses on both sides, spread across shards) flapped under
+// scheduler noise. 10 repetitions under -race gives the scheduler
+// ample room to expose any order dependence.
+func TestCompareParallelWitnessDeterminism(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		var wantA, wantB string
+		for rep := 0; rep < 10; rep++ {
+			// NW vs WN on the n=4, L=1 universe is incomparable (112 vs
+			// 6786 one-sided pairs), so both witnesses exist and the
+			// one-sided pairs are spread across many shards.
+			r := CompareParallel(memmodel.NW, memmodel.WN, 4, 1, workers)
+			if r.WitnessAOnly == nil || r.WitnessBOnly == nil {
+				t.Fatalf("workers=%d: NW vs WN should be incomparable with witnesses: %+v", workers, r)
+			}
+			gotA, gotB := witnessKey(r.WitnessAOnly), witnessKey(r.WitnessBOnly)
+			if rep == 0 {
+				wantA, wantB = gotA, gotB
+				continue
+			}
+			if gotA != wantA || gotB != wantB {
+				t.Fatalf("workers=%d rep=%d: witness flapped:\n  A: %s -> %s\n  B: %s -> %s",
+					workers, rep, wantA, gotA, wantB, gotB)
+			}
+		}
+	}
+}
+
 func TestCountPairsParallel(t *testing.T) {
 	seq := EachPair(3, 1, func(*computation.Computation, *observer.Observer) bool { return true })
 	for _, workers := range []int{0, 1, 4} {

@@ -7,6 +7,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/computation"
 	"repro/internal/enum"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/observer"
 )
 
@@ -104,6 +106,15 @@ func RunLattice(maxNodes, numLocs int) LatticeReport {
 // RunLatticeParallel is RunLattice with each edge's sweep distributed
 // over the given number of worker goroutines (<= 0 means GOMAXPROCS).
 func RunLatticeParallel(maxNodes, numLocs, workers int) LatticeReport {
+	return RunLatticeObs(maxNodes, numLocs, workers, nil)
+}
+
+// RunLatticeObs is RunLatticeParallel with observability: rec receives
+// one PhaseStart per Figure 1 edge, and each edge's sweep runs under a
+// per-edge run label ("A vs B"), so progress lines and trace timelines
+// show which relation is currently being checked. A nil rec is exactly
+// RunLatticeParallel.
+func RunLatticeObs(maxNodes, numLocs, workers int, rec obs.Recorder) LatticeReport {
 	rep := LatticeReport{MaxNodes: maxNodes, NumLocs: numLocs}
 	rep.Pairs = enum.CountPairsParallel(maxNodes, numLocs, workers)
 	for _, e := range Figure1Edges() {
@@ -119,7 +130,10 @@ func RunLatticeParallel(maxNodes, numLocs, workers int) LatticeReport {
 		if e.A == "SC" && e.B == "LC" && locs < 2 {
 			locs = 2
 		}
-		r := enum.CompareParallel(a, b, maxNodes, locs, workers)
+		label := e.A + " vs " + e.B
+		obs.Emit(rec, obs.Event{Kind: obs.PhaseStart, Str: label})
+		r, _ := enum.CompareParallelObs(context.Background(), a, b, maxNodes, locs, workers,
+			obs.WithRun(rec, label))
 		got := classify(r)
 		ok = got == e.Want
 		if maxNodes < e.MinNodes {
@@ -234,6 +248,12 @@ func RunStar(base memmodel.Model, maxNodes, numLocs int) StarReport {
 	return rep
 }
 
+// OK reports whether the experiment confirmed the conjecture the star
+// fixpoint probes: survivors = LC everywhere on the interior. CLIs map
+// !OK to a nonzero exit so scripted sweeps can't mistake a mismatch
+// table for success.
+func (r StarReport) OK() bool { return r.FirstMismatch == "" }
+
 // String renders the fixpoint report.
 func (r StarReport) String() string {
 	var b strings.Builder
@@ -310,6 +330,10 @@ func RunProperties(m memmodel.Model, maxNodes, numLocs int) PropertyReport {
 	return rep
 }
 
+// OK reports whether every checked property held over the universe.
+// Like StarReport.OK, this is the CLI exit-status hook.
+func (r PropertyReport) OK() bool { return r.Complete && r.Monotonic && r.ConstructibleAug }
+
 // String renders the property report as one line per property.
 func (r PropertyReport) String() string {
 	var b strings.Builder
@@ -364,18 +388,15 @@ func FindTrap(m memmodel.Model, maxNodes, numLocs int) (Trap, bool) {
 // MembershipCensus counts, for every model, the pairs it contains in
 // the universe, as a quick overview table.
 func MembershipCensus(maxNodes, numLocs int) string {
+	return MembershipCensusParallel(maxNodes, numLocs, 1)
+}
+
+// MembershipCensusParallel is MembershipCensus with the sweep sharded
+// over workers (<= 0 means GOMAXPROCS). Counts are order-independent,
+// so the table is identical for every worker count.
+func MembershipCensusParallel(maxNodes, numLocs, workers int) string {
 	models := Models()
-	counts := make([]int, len(models))
-	total := 0
-	enum.EachPair(maxNodes, numLocs, func(c *computation.Computation, o *observer.Observer) bool {
-		total++
-		for i, m := range models {
-			if m.Contains(c, o) {
-				counts[i]++
-			}
-		}
-		return true
-	})
+	counts, total := enum.CensusParallel(models, maxNodes, numLocs, workers)
 	type row struct {
 		name  string
 		count int

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestAddFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Progress != 0 || f.Report != "" || f.Trace != "" || f.PProf != "" {
+		t.Fatalf("defaults: %+v", f)
+	}
+	var stderr bytes.Buffer
+	s, err := f.Start("t", nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rec != nil {
+		t.Fatal("no flags set but Rec is non-nil — hot paths would pay for it")
+	}
+	if err := s.Close(0); err != nil {
+		t.Fatal(err)
+	}
+	// A nil session (CLI error before Start) must be closeable too.
+	var nilSession *Session
+	if err := nilSession.Close(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionWritesReportAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	tracePath := filepath.Join(dir, "trace.json")
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-progress", "1h", "-report", reportPath, "-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	s, err := f.Start("ccmc", []string{"-demo"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rec == nil {
+		t.Fatal("flags set but Rec is nil")
+	}
+	Emit(s.Rec, Event{Kind: RunStart, Run: "SC"})
+	Emit(s.Rec, Event{Kind: RunEnd, Run: "SC", Str: "IN", Stats: &Stats{States: 3}})
+	if err := s.Close(2); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "ccmc" || rep.ExitCode != 2 || len(rep.Runs) != 1 || rep.Runs[0].Outcome != "IN" {
+		t.Fatalf("report: %+v", rep)
+	}
+
+	traw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(traw, &events); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if len(events) != 1 || events[0]["name"] != "SC" {
+		t.Fatalf("trace events: %v", events)
+	}
+}
+
+func TestSessionPProf(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	s, err := f.Start("t", nil, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(0)
+	addr := s.pprofLn.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %s", resp.Status)
+	}
+}
+
+func TestSessionPProfBadAddress(t *testing.T) {
+	f := &Flags{PProf: "256.256.256.256:http"}
+	var stderr bytes.Buffer
+	if _, err := f.Start("t", nil, &stderr); err == nil {
+		t.Fatal("bad -pprof address did not error")
+	}
+}

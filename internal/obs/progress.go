@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is the periodic progress reporter: while a run that
+// publishes live Counters is active, it prints one status line to w
+// every interval — states and states/s, memo footprint, work units
+// done out of total, and (under a state budget) the fraction used plus
+// an ETA to exhaustion at the current rate. A stuck exploration is
+// thereby diagnosable live: the line keeps printing with a flat state
+// count instead of the CLI sitting silent until its deadline.
+//
+// Runs are tracked by RunStart/RunEnd events; overlapping runs print
+// one line each. Close stops the ticker goroutine and must be called
+// before process exit to avoid a straggling line.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+
+	mu   sync.Mutex
+	runs []*progressRun
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type progressRun struct {
+	name    string
+	live    *Counters
+	total   int
+	budget  int64
+	started time.Time
+
+	lastStates int64
+	lastAt     time.Time
+}
+
+// NewProgress starts a reporter printing to w every interval.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	p := &Progress{w: w, interval: interval, done: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// Record tracks run lifecycles; only runs that publish live counters
+// produce periodic lines.
+func (p *Progress) Record(ev Event) {
+	switch ev.Kind {
+	case RunStart:
+		if ev.Live == nil {
+			return
+		}
+		p.mu.Lock()
+		p.runs = append(p.runs, &progressRun{
+			name:    ev.Run,
+			live:    ev.Live,
+			total:   ev.Total,
+			budget:  ev.N,
+			started: ev.Time,
+			lastAt:  ev.Time,
+		})
+		p.mu.Unlock()
+	case RunEnd:
+		p.mu.Lock()
+		for i, r := range p.runs {
+			if r.name == ev.Run {
+				p.runs = append(p.runs[:i], p.runs[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close stops the reporting goroutine. Idempotent via sync.Once would
+// cost a field; callers (the flag session) close exactly once.
+func (p *Progress) Close() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case now := <-tick.C:
+			p.report(now)
+		}
+	}
+}
+
+func (p *Progress) report(now time.Time) {
+	p.mu.Lock()
+	lines := make([]string, 0, len(p.runs))
+	for _, r := range p.runs {
+		lines = append(lines, r.line(now))
+	}
+	p.mu.Unlock()
+	for _, l := range lines {
+		fmt.Fprintln(p.w, l)
+	}
+}
+
+func (r *progressRun) line(now time.Time) string {
+	states := r.live.States.Load()
+	dt := now.Sub(r.lastAt).Seconds()
+	var rate float64
+	if dt > 0 {
+		rate = float64(states-r.lastStates) / dt
+	}
+	r.lastStates, r.lastAt = states, now
+
+	s := fmt.Sprintf("%s: %s states (%s/s)", r.name, count(states), count(int64(rate)))
+	if mb := r.live.MemoBytes.Load(); mb > 0 {
+		s += fmt.Sprintf(", memo %.1f MiB", float64(mb)/(1<<20))
+	}
+	if r.total > 0 {
+		s += fmt.Sprintf(", done %d/%d", r.live.Done.Load(), r.total)
+	}
+	if r.budget > 0 {
+		s += fmt.Sprintf(", budget %.0f%%", 100*float64(states)/float64(r.budget))
+		if rate > 0 && states < r.budget {
+			eta := time.Duration(float64(r.budget-states) / rate * float64(time.Second))
+			s += fmt.Sprintf(" (eta %s)", eta.Round(100*time.Millisecond))
+		}
+	}
+	return s
+}
+
+// count renders large counts compactly (12.3M, 456k, 789).
+func count(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Report is the machine-readable summary a CLI writes with -report: a
+// stable JSON shape (validated in CI by scripts/report-check.sh against
+// testdata/report.schema.json) that captures what the process decided
+// and what it cost, suitable for trajectory diffing under benchmarks/.
+type Report struct {
+	// Tool is the CLI name (ccmc, verify, backersim, lattice, enumerate).
+	Tool string `json:"tool"`
+	// Args are the raw command-line arguments the tool ran with.
+	Args []string `json:"args"`
+	// Start is the wall-clock start of the session.
+	Start time.Time `json:"start"`
+	// WallMS and CPUMS are the session's wall-clock and user-CPU time in
+	// milliseconds. CPU time comes from runtime/metrics and is the
+	// process-wide Go user time, an approximation good enough for
+	// spotting serial-vs-parallel regressions.
+	WallMS float64 `json:"wall_ms"`
+	CPUMS  float64 `json:"cpu_ms"`
+	// ExitCode is the code the process exited with (0/1/2/3 convention).
+	ExitCode int `json:"exit_code"`
+	// Runs summarizes every recorded decision run, in completion order.
+	Runs []RunReport `json:"runs"`
+	// Events aggregates the discrete event stream.
+	Events EventCounts `json:"events"`
+}
+
+// RunReport is the summary of one RunStart/RunEnd pair.
+type RunReport struct {
+	Name    string  `json:"name"`
+	Outcome string  `json:"outcome"`
+	WallMS  float64 `json:"wall_ms"`
+	// Engine counters, zero for producers that keep none.
+	States      int64 `json:"states"`
+	MemoHits    int64 `json:"memo_hits"`
+	Pruned      int64 `json:"pruned"`
+	Memoized    int64 `json:"memoized"`
+	MemoBytes   int64 `json:"memo_bytes"`
+	MemoSpilled int64 `json:"memo_spilled"`
+	Roots       int   `json:"roots"`
+	Workers     int   `json:"workers"`
+}
+
+// EventCounts aggregates the discrete events of a session.
+type EventCounts struct {
+	GovernorsFired int64 `json:"governors_fired"`
+	MemoFreezes    int64 `json:"memo_freezes"`
+	RootsSkipped   int64 `json:"roots_skipped"`
+	FaultsInjected int64 `json:"faults_injected"`
+	ShrinkSteps    int64 `json:"shrink_steps"`
+	PlansDone      int64 `json:"plans_done"`
+	PlanViolations int64 `json:"plan_violations"`
+}
+
+// ReportCollector is the recorder behind -report: it folds the event
+// stream into a Report, finalized by Finish.
+type ReportCollector struct {
+	mu     sync.Mutex
+	rep    Report
+	open   map[string]time.Time
+	cpu0   float64
+	closed bool
+}
+
+// NewReportCollector starts a collector for the given tool invocation.
+func NewReportCollector(tool string, args []string) *ReportCollector {
+	return &ReportCollector{
+		rep:  Report{Tool: tool, Args: args, Start: time.Now(), Runs: []RunReport{}},
+		open: make(map[string]time.Time),
+		cpu0: cpuSeconds(),
+	}
+}
+
+// Record folds one event into the report.
+func (c *ReportCollector) Record(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case RunStart:
+		c.open[ev.Run] = ev.Time
+	case RunEnd:
+		rr := RunReport{Name: ev.Run, Outcome: ev.Str}
+		if start, ok := c.open[ev.Run]; ok {
+			rr.WallMS = float64(ev.Time.Sub(start)) / float64(time.Millisecond)
+			delete(c.open, ev.Run)
+		}
+		if ev.Stats != nil {
+			rr.States = ev.Stats.States
+			rr.MemoHits = ev.Stats.MemoHits
+			rr.Pruned = ev.Stats.Pruned
+			rr.Memoized = ev.Stats.Memoized
+			rr.MemoBytes = ev.Stats.MemoBytes
+			rr.MemoSpilled = ev.Stats.MemoSpilled
+			rr.Roots = ev.Stats.Roots
+			rr.Workers = ev.Stats.Workers
+		}
+		c.rep.Runs = append(c.rep.Runs, rr)
+	case GovernorFired:
+		c.rep.Events.GovernorsFired++
+	case MemoFreeze:
+		c.rep.Events.MemoFreezes++
+	case RootSkipped:
+		c.rep.Events.RootsSkipped++
+	case FaultInjected:
+		c.rep.Events.FaultsInjected++
+	case ShrinkStep:
+		c.rep.Events.ShrinkSteps++
+	case PlanDone:
+		c.rep.Events.PlansDone++
+		if ev.Str == "VIOLATED" || ev.Str == "OUT" {
+			c.rep.Events.PlanViolations++
+		}
+	}
+}
+
+// Finish stamps the session totals and returns the finished report.
+// Further events are still folded in if they arrive (harmless), but
+// the returned snapshot is complete.
+func (c *ReportCollector) Finish(exitCode int) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.rep.WallMS = float64(time.Since(c.rep.Start)) / float64(time.Millisecond)
+		c.rep.CPUMS = (cpuSeconds() - c.cpu0) * 1000
+		c.closed = true
+	}
+	c.rep.ExitCode = exitCode
+	snap := c.rep
+	snap.Runs = append([]RunReport(nil), c.rep.Runs...)
+	return &snap
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path (0644, truncating).
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// cpuSeconds reads the Go runtime's user-CPU clock (seconds since
+// process start); 0 when the metric is unavailable.
+func cpuSeconds() float64 {
+	samples := []metrics.Sample{{Name: "/cpu/classes/user:cpu-seconds"}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return samples[0].Value.Float64()
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file makes the -report JSON shape a tested contract: a small,
+// checked-in schema (testdata/report.schema.json) names every required
+// field with its type, and ValidateReport checks a report against it.
+// CI runs the check through scripts/report-check.sh on real CLI output,
+// so a field rename or type change fails a build instead of silently
+// breaking downstream trajectory diffing.
+
+// Schema is the minimal report schema: required maps dotted field
+// paths of the top-level object to expected JSON types ("string",
+// "number", "boolean", "array", "object"), and runs_item does the same
+// for every element of the "runs" array.
+type Schema struct {
+	Required map[string]string `json:"required"`
+	RunsItem map[string]string `json:"runs_item"`
+}
+
+// ValidateReport checks reportJSON against schemaJSON and returns an
+// error naming every violation (missing field, wrong type), or nil.
+func ValidateReport(reportJSON, schemaJSON []byte) error {
+	var schema Schema
+	if err := json.Unmarshal(schemaJSON, &schema); err != nil {
+		return fmt.Errorf("obs: bad schema: %w", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(reportJSON, &doc); err != nil {
+		return fmt.Errorf("obs: bad report JSON: %w", err)
+	}
+	var violations []string
+	checkFields(doc, schema.Required, "", &violations)
+	if len(schema.RunsItem) > 0 {
+		if runs, ok := doc["runs"].([]any); ok {
+			for i, item := range runs {
+				obj, ok := item.(map[string]any)
+				if !ok {
+					violations = append(violations, fmt.Sprintf("runs[%d]: not an object", i))
+					continue
+				}
+				checkFields(obj, schema.RunsItem, fmt.Sprintf("runs[%d].", i), &violations)
+			}
+		}
+	}
+	if len(violations) == 0 {
+		return nil
+	}
+	sort.Strings(violations)
+	return fmt.Errorf("obs: report violates schema:\n  %s", strings.Join(violations, "\n  "))
+}
+
+// checkFields verifies each dotted path of want against obj.
+func checkFields(obj map[string]any, want map[string]string, prefix string, violations *[]string) {
+	for path, typ := range want {
+		v, ok := lookup(obj, path)
+		if !ok {
+			*violations = append(*violations, prefix+path+": missing")
+			continue
+		}
+		if got := jsonType(v); got != typ {
+			*violations = append(*violations, fmt.Sprintf("%s%s: %s, want %s", prefix, path, got, typ))
+		}
+	}
+}
+
+// lookup resolves a dotted path inside nested JSON objects.
+func lookup(obj map[string]any, path string) (any, bool) {
+	parts := strings.Split(path, ".")
+	var cur any = obj
+	for _, p := range parts {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func jsonType(v any) string {
+	switch v.(type) {
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	case nil:
+		return "null"
+	default:
+		return "unknown"
+	}
+}

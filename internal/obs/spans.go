@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SpanCollector is an in-memory recorder that pairs start/finish
+// events into timed spans and keeps the rest as instants, exporting
+// the Chrome trace_event JSON format (load the file in
+// chrome://tracing or Perfetto) for flamegraph-style timelines of
+// parallel root splitting and chaos exploration: one track per worker,
+// one span per claimed root, instants for governor firings, faults,
+// plans, and shrink steps.
+type SpanCollector struct {
+	mu    sync.Mutex
+	base  time.Time
+	spans []span
+	open  map[spanKey]time.Time
+}
+
+type spanKey struct {
+	run    string
+	worker int
+	root   int
+	kind   Kind
+}
+
+type span struct {
+	name     string
+	start    time.Time
+	dur      time.Duration // 0 with instant=true
+	worker   int
+	instant  bool
+	detail   string
+	category string
+}
+
+// NewSpanCollector returns an empty collector; the first event sets
+// the timeline origin.
+func NewSpanCollector() *SpanCollector {
+	return &SpanCollector{open: make(map[spanKey]time.Time)}
+}
+
+// Record folds one event into the timeline.
+func (s *SpanCollector) Record(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.base.IsZero() {
+		s.base = ev.Time
+	}
+	switch ev.Kind {
+	case RunStart:
+		s.open[spanKey{run: ev.Run, kind: RunStart}] = ev.Time
+	case RunEnd:
+		key := spanKey{run: ev.Run, kind: RunStart}
+		if start, ok := s.open[key]; ok {
+			delete(s.open, key)
+			s.spans = append(s.spans, span{
+				name: ev.Run, start: start, dur: ev.Time.Sub(start),
+				category: "run", detail: ev.Str,
+			})
+		}
+	case RootClaimed:
+		s.open[spanKey{run: ev.Run, worker: ev.Worker, root: ev.Root, kind: RootClaimed}] = ev.Time
+	case RootFinished:
+		key := spanKey{run: ev.Run, worker: ev.Worker, root: ev.Root, kind: RootClaimed}
+		if start, ok := s.open[key]; ok {
+			delete(s.open, key)
+			s.spans = append(s.spans, span{
+				name: fmt.Sprintf("root %d", ev.Root), start: start, dur: ev.Time.Sub(start),
+				worker: ev.Worker + 1, category: "root", detail: ev.Str,
+			})
+		}
+	case PhaseStart, RootSkipped, GovernorFired, MemoFreeze, FaultInjected, ShrinkStep, PlanDone:
+		s.spans = append(s.spans, span{
+			name: ev.Kind.String(), start: ev.Time, instant: true,
+			worker: ev.Worker + 1, category: ev.Kind.String(), detail: ev.Str,
+		})
+	}
+}
+
+// traceEvent is one Chrome trace_event object.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds since origin
+	Dur  float64        `json:"dur,omitempty"` // microseconds, "X" only
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace exports the collected timeline as a Chrome trace_event
+// JSON array. Open spans (a run still in flight at export time) are
+// closed at the current instant so partial sessions stay loadable.
+func (s *SpanCollector) WriteTrace(w io.Writer) error {
+	s.mu.Lock()
+	spans := append([]span(nil), s.spans...)
+	now := time.Now()
+	for key, start := range s.open {
+		spans = append(spans, span{
+			name: key.run, start: start, dur: now.Sub(start),
+			worker: key.worker, category: "run", detail: "unfinished",
+		})
+	}
+	base := s.base
+	s.mu.Unlock()
+
+	events := make([]traceEvent, 0, len(spans))
+	for _, sp := range spans {
+		ev := traceEvent{
+			Name: sp.name,
+			Cat:  sp.category,
+			Ts:   float64(sp.start.Sub(base)) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  sp.worker,
+		}
+		if sp.detail != "" {
+			ev.Args = map[string]any{"detail": sp.detail}
+		}
+		if sp.instant {
+			ev.Ph = "i"
+			ev.S = "t"
+		} else {
+			ev.Ph = "X"
+			ev.Dur = float64(sp.dur) / float64(time.Microsecond)
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteFile writes the trace to path (0644, truncating).
+func (s *SpanCollector) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Len reports how many closed spans and instants were collected.
+func (s *SpanCollector) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.spans)
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dag"
+	"repro/internal/obs"
 )
 
 // Below the serial engine and the parallel root splitter. One engine
@@ -48,18 +49,29 @@ type shared struct {
 	// stop records the first governor that halted the run (a StopReason;
 	// 0 = still running). Sticky: later governors never overwrite it.
 	stop atomic.Uint32
+	// rec receives run/root/governor events; nil disables all event
+	// work. live holds the run's gauges (allocated only with a recorder)
+	// that workers publish into in cancellation-poll batches.
+	rec  obs.Recorder
+	live *obs.Counters
 }
 
-func newShared(ctx context.Context, budget int64, chunk int64) *shared {
-	sh := &shared{limited: budget > 0, chunk: chunk, ctx: ctx, done: ctx.Done()}
+func newShared(ctx context.Context, budget int64, chunk int64, rec obs.Recorder) *shared {
+	sh := &shared{limited: budget > 0, chunk: chunk, ctx: ctx, done: ctx.Done(), rec: rec}
+	if rec != nil {
+		sh.live = &obs.Counters{}
+	}
 	sh.budget.Store(budget)
 	sh.bestRoot.Store(math.MaxInt64)
 	return sh
 }
 
 // setStop records reason as the run's stop cause if none is set yet.
+// The first setter (and only it) reports the governor firing.
 func (sh *shared) setStop(reason StopReason) {
-	sh.stop.CompareAndSwap(0, uint32(reason))
+	if sh.stop.CompareAndSwap(0, uint32(reason)) && sh.rec != nil {
+		obs.Emit(sh.rec, obs.Event{Kind: obs.GovernorFired, Str: reason.String()})
+	}
 }
 
 // stopReason returns the recorded stop cause (StopNone while running).
@@ -105,6 +117,13 @@ type engine struct {
 	grant  int64
 	tick   uint32
 	stats  Stats
+	// Observability bookkeeping, all dead weight unless sh.rec is set:
+	// worker id for events, the already-published slices of the private
+	// counters, and whether this worker's memo freeze was reported.
+	worker    int
+	pubStates int64
+	pubMemo   int64
+	frozeSeen bool
 }
 
 func newEngine(p *problem, sh *shared, memoCap int64) *engine {
@@ -157,16 +176,66 @@ func (e *engine) takeState() bool {
 
 // cancelled polls, every cancelMask+1 states, whether a governor
 // (budget elsewhere, context deadline/cancel) halted the run or a
-// lower root already produced a witness.
+// lower root already produced a witness. The same tick publishes the
+// live gauge deltas when a recorder is attached — one batch per
+// cancelMask+1 states, keeping per-state work recorder-free.
 func (e *engine) cancelled() bool {
 	e.tick++
 	if e.tick&cancelMask != 0 {
 		return false
 	}
+	if e.sh.live != nil {
+		e.publishLive()
+	}
 	if e.sh.halted() {
 		return true
 	}
 	return e.sh.bestRoot.Load() < e.myRoot
+}
+
+// publishLive pushes the not-yet-published slice of this worker's
+// private counters into the shared gauges and reports a memo freeze
+// the first time it is observed. Only called with a recorder attached.
+func (e *engine) publishLive() {
+	live := e.sh.live
+	live.States.Add(e.stats.States - e.pubStates)
+	e.pubStates = e.stats.States
+	if mb := e.memo.bytes(); mb != e.pubMemo {
+		live.MemoBytes.Add(mb - e.pubMemo)
+		e.pubMemo = mb
+	}
+	if e.memo.frozen && !e.frozeSeen {
+		e.frozeSeen = true
+		obs.Emit(e.sh.rec, obs.Event{Kind: obs.MemoFreeze, Worker: e.worker, N: e.memo.bytes()})
+	}
+}
+
+// flushObs publishes the final gauge deltas and emits this worker's
+// WorkerDone with its complete private counters. No-op without a
+// recorder.
+func (e *engine) flushObs() {
+	if e.sh.rec == nil {
+		return
+	}
+	e.publishLive()
+	st := e.stats
+	st.MemoBytes = e.memo.bytes()
+	st.MemoSpilled = e.memo.spilled
+	obs.Emit(e.sh.rec, obs.Event{Kind: obs.WorkerDone, Worker: e.worker, Stats: obsStats(st)})
+}
+
+// obsStats converts the engine's counter block to the event form.
+func obsStats(s Stats) *obs.Stats {
+	return &obs.Stats{
+		States:      s.States,
+		MemoHits:    s.MemoHits,
+		Pruned:      s.Pruned,
+		Memoized:    s.Memoized,
+		MemoBytes:   s.MemoBytes,
+		MemoSpilled: s.MemoSpilled,
+		Roots:       s.Roots,
+		Workers:     s.Workers,
+	}
 }
 
 func (e *engine) encodeKey() []uint64 {
@@ -334,13 +403,14 @@ func RunContext(ctx context.Context, spec Spec, opts Options) Result {
 		// Already cancelled: don't even compile.
 		return Result{Stop: ctxStopReason(err)}
 	}
+	rec := opts.Recorder
 	p := compile(spec)
 	if p.unsat {
 		// Static filtering emptied some candidate set: no sort exists.
-		return Result{Exhausted: true}
+		return trivialResult(rec, Result{Exhausted: true})
 	}
 	if p.n == 0 {
-		return Result{Order: []dag.Node{}, Found: true, Exhausted: true}
+		return trivialResult(rec, Result{Order: []dag.Node{}, Found: true, Exhausted: true})
 	}
 
 	// The admissible first-choice frontier, in node order. At the root
@@ -363,7 +433,7 @@ func RunContext(ctx context.Context, spec Spec, opts Options) Result {
 		}
 	}
 	if len(roots) == 0 {
-		return Result{Exhausted: true, Stats: Stats{States: 1}}
+		return trivialResult(rec, Result{Exhausted: true, Stats: Stats{States: 1}})
 	}
 
 	workers := opts.Workers
@@ -377,16 +447,41 @@ func RunContext(ctx context.Context, spec Spec, opts Options) Result {
 	if workers > len(roots) {
 		workers = len(roots)
 	}
+	chunk := int64(budgetChunk)
 	if workers <= 1 {
-		return runSerial(ctx, p, opts, len(roots))
+		chunk = 1
 	}
-	return runParallel(ctx, p, opts, roots, workers)
+	sh := newShared(ctx, opts.Budget, chunk, rec)
+	if rec != nil {
+		obs.Emit(rec, obs.Event{Kind: obs.RunStart, Total: len(roots), N: opts.Budget, Live: sh.live})
+	}
+	var res Result
+	if workers <= 1 {
+		res = runSerial(p, sh, opts, len(roots))
+	} else {
+		res = runParallel(p, sh, opts, roots, workers)
+	}
+	if rec != nil {
+		obs.Emit(rec, obs.Event{Kind: obs.RunEnd, Str: res.Verdict().String(), Stats: obsStats(res.Stats)})
+	}
+	return res
 }
 
-func runSerial(ctx context.Context, p *problem, opts Options, numRoots int) Result {
-	sh := newShared(ctx, opts.Budget, 1)
+// trivialResult reports a search that resolved before the engine
+// started (statically unsat, empty problem, empty first-choice
+// frontier) so recorded sessions still see one run per decision.
+func trivialResult(rec obs.Recorder, res Result) Result {
+	if rec != nil {
+		obs.Emit(rec, obs.Event{Kind: obs.RunStart})
+		obs.Emit(rec, obs.Event{Kind: obs.RunEnd, Str: res.Verdict().String(), Stats: obsStats(res.Stats)})
+	}
+	return res
+}
+
+func runSerial(p *problem, sh *shared, opts Options, numRoots int) Result {
 	e := newEngine(p, sh, opts.MaxMemoBytes)
 	st := e.rec(p.n)
+	e.flushObs()
 	e.stats.Roots = numRoots
 	e.stats.Workers = 1
 	e.stats.MemoBytes = e.memo.bytes()
@@ -412,8 +507,7 @@ type rootOutcome struct {
 	done bool
 }
 
-func runParallel(ctx context.Context, p *problem, opts Options, roots []dag.Node, workers int) Result {
-	sh := newShared(ctx, opts.Budget, budgetChunk)
+func runParallel(p *problem, sh *shared, opts Options, roots []dag.Node, workers int) Result {
 	// The memo cap is per run; each worker's private table gets an
 	// equal share so the sum respects Options.MaxMemoBytes.
 	memoCap := opts.MaxMemoBytes
@@ -432,7 +526,9 @@ func runParallel(ctx context.Context, p *problem, opts Options, roots []dag.Node
 		go func(w int) {
 			defer wg.Done()
 			e := newEngine(p, sh, memoCap)
+			e.worker = w
 			engines[w] = e
+			defer e.flushObs()
 			for {
 				r := next.Add(1) - 1
 				if r >= int64(len(roots)) || sh.halted() {
@@ -441,7 +537,14 @@ func runParallel(ctx context.Context, p *problem, opts Options, roots []dag.Node
 				// A strictly lower root already holds a witness: this
 				// root's outcome cannot win, skip it.
 				if sh.bestRoot.Load() < r {
+					if sh.rec != nil {
+						obs.Emit(sh.rec, obs.Event{Kind: obs.RootSkipped, Worker: w, Root: int(r)})
+						sh.live.Done.Add(1)
+					}
 					continue
+				}
+				if sh.rec != nil {
+					obs.Emit(sh.rec, obs.Event{Kind: obs.RootClaimed, Worker: w, Root: int(r)})
 				}
 				e.reset()
 				e.myRoot = r
@@ -457,6 +560,17 @@ func runParallel(ctx context.Context, p *problem, opts Options, roots []dag.Node
 					}
 				case stFail:
 					outcomes[r] = rootOutcome{done: true}
+				}
+				if sh.rec != nil {
+					outcome := "aborted"
+					switch st {
+					case stFound:
+						outcome = "found"
+					case stFail:
+						outcome = "exhausted"
+					}
+					obs.Emit(sh.rec, obs.Event{Kind: obs.RootFinished, Worker: w, Root: int(r), Str: outcome})
+					sh.live.Done.Add(1)
 				}
 			}
 		}(w)

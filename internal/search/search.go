@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dag"
+	"repro/internal/obs"
 )
 
 // Options tunes a Run without changing its answer (budget aside).
@@ -65,6 +66,15 @@ type Options struct {
 	// stored, new inserts are dropped — so the answer never changes,
 	// only the state count. Stats.MemoSpilled reports the drops.
 	MaxMemoBytes int64
+	// Recorder receives run-level observability events: run start/end,
+	// root claimed/skipped/finished, governor fired, memo freeze, and a
+	// per-worker counter flush at exit. nil (the default) disables all
+	// event work — the engine emits nothing per state either way, and
+	// live counters are published only in cancellation-poll batches, so
+	// the recorder stays off the hot path's allocation profile.
+	// Since checker.SearchOptions and memmodel.SearchOptions alias this
+	// type, a recorder set here flows through every decision procedure.
+	Recorder obs.Recorder
 }
 
 // Stats reports how much work a Run did.

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Report-contract smoke test: run the CLIs with -report on checked-in
+# testdata and validate the JSON run reports against the schema at
+# testdata/report.schema.json. A field rename or type change in the
+# report format fails here instead of silently breaking downstream
+# report consumers. Run from the repository root.
+set -u
+
+BIN=$(mktemp -d)
+OUT=$(mktemp -d)
+
+go build -o "$BIN/ccmc" ./cmd/ccmc || exit 1
+go build -o "$BIN/backersim" ./cmd/backersim || exit 1
+go build -o "$BIN/reportcheck" ./scripts/reportcheck || exit 1
+
+echo "== ccmc -report (expect exit 0: Figure 2 verdicts are definitive)"
+"$BIN/ccmc" -report "$OUT/ccmc.json" testdata/figure2.ccm
+code=$?
+if [ "$code" -ne 0 ]; then
+    echo "report-check: ccmc exit $code, want 0" >&2
+    exit 1
+fi
+
+echo "== backersim -explore -report (expect exit 1: violations found)"
+"$BIN/backersim" -explore -ccm testdata/stale_read.ccm -p 2 -report "$OUT/backersim.json" > /dev/null
+code=$?
+if [ "$code" -ne 1 ]; then
+    echo "report-check: backersim explore exit $code, want 1" >&2
+    exit 1
+fi
+
+echo "== validate reports against testdata/report.schema.json"
+"$BIN/reportcheck" -schema testdata/report.schema.json "$OUT/ccmc.json" "$OUT/backersim.json" || exit 1
+
+# The reports must also reflect what actually ran: ccmc records one
+# engine run per model decision, backersim counts the explored plans.
+if ! grep -q '"tool": "ccmc"' "$OUT/ccmc.json"; then
+    echo "report-check: ccmc report missing tool stamp" >&2
+    exit 1
+fi
+if ! grep -q '"plans_done": 8' "$OUT/backersim.json"; then
+    echo "report-check: backersim report lost the plan count" >&2
+    exit 1
+fi
+
+echo "report-check: OK"

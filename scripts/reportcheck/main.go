@@ -1,0 +1,50 @@
+// Command reportcheck validates a -report JSON file against the
+// checked-in report schema (testdata/report.schema.json). It exists so
+// scripts/report-check.sh and CI can assert the report contract on
+// real CLI output without a JSON-schema dependency.
+//
+// Usage:
+//
+//	reportcheck -schema testdata/report.schema.json report.json...
+//
+// Exit codes: 0 when every report validates, 1 on any violation, 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "testdata/report.schema.json", "schema file to validate against")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema FILE] report.json...")
+		os.Exit(2)
+	}
+	schema, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reportcheck:", err)
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		report, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reportcheck:", err)
+			code = 1
+			continue
+		}
+		if err := obs.ValidateReport(report, schema); err != nil {
+			fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("reportcheck: %s: OK\n", path)
+	}
+	os.Exit(code)
+}
