@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// The end-to-end conformance suite: every (computation, observer)
+// pair in the testdata corpus is decided twice — through the ccmc CLI
+// and through the ccmd service's /v1/check — and the verdict spellings
+// and witness strings must be byte-identical. The CLI and the service
+// share one decision path (memmodel.DecideByName) and one render path,
+// so a divergence here means the service layer corrupted an answer.
+
+// cliResult is what parseCCMC extracts from one model's CLI output.
+type cliResult struct {
+	verdict      string
+	witness      string
+	locWitnesses []string
+	violation    string
+}
+
+// parseCCMC reads ccmc -explain output back into per-model results.
+func parseCCMC(t *testing.T, out string) map[string]*cliResult {
+	t.Helper()
+	results := make(map[string]*cliResult)
+	known := map[string]bool{"SC": true, "LC": true, "NN": true, "NW": true, "WN": true, "WW": true}
+	var cur *cliResult
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, " ") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && known[f[0]] {
+				cur = &cliResult{verdict: f[1]}
+				results[f[0]] = cur
+			}
+			continue
+		}
+		if cur == nil {
+			continue
+		}
+		detail := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(detail, "witness sort for location "):
+			_, w, ok := strings.Cut(detail, ": ")
+			if !ok {
+				t.Fatalf("malformed witness line %q", line)
+			}
+			cur.locWitnesses = append(cur.locWitnesses, w)
+		case strings.HasPrefix(detail, "witness sort: "):
+			cur.witness = strings.TrimPrefix(detail, "witness sort: ")
+		case strings.HasPrefix(detail, "violating triple at location "):
+			cur.violation = strings.TrimPrefix(detail, "violating triple at location ")
+		}
+	}
+	return results
+}
+
+func TestConformanceCheckCorpus(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.ccm")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no conformance corpus: %v (%v)", files, err)
+	}
+	s := serve.New(serve.Config{CacheBytes: 1 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			// CLI answer.
+			var out, errb bytes.Buffer
+			if code := run([]string{"-explain", file}, &out, &errb); code != 0 {
+				t.Fatalf("ccmc exit %d; stderr: %s", code, errb.String())
+			}
+			cli := parseCCMC(t, out.String())
+			if len(cli) != 6 {
+				t.Fatalf("CLI reported %d models, want 6:\n%s", len(cli), out.String())
+			}
+
+			// Service answer for the same bytes.
+			pair, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := json.Marshal(serve.CheckRequest{Pair: string(pair)})
+			resp, err := http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("service status %d: %s", resp.StatusCode, data)
+			}
+			var svc serve.CheckResponse
+			if err := json.Unmarshal(data, &svc); err != nil {
+				t.Fatal(err)
+			}
+			if len(svc.Results) != 6 {
+				t.Fatalf("service reported %d models, want 6", len(svc.Results))
+			}
+
+			// Byte-identical verdicts and witnesses, model by model.
+			for _, mr := range svc.Results {
+				c := cli[mr.Model]
+				if c == nil {
+					t.Errorf("CLI missing model %s", mr.Model)
+					continue
+				}
+				if got := mr.Verdict.String(); got != c.verdict {
+					t.Errorf("%s verdict: service %q, CLI %q", mr.Model, got, c.verdict)
+				}
+				if mr.Witness != c.witness {
+					t.Errorf("%s witness: service %q, CLI %q", mr.Model, mr.Witness, c.witness)
+				}
+				if strings.Join(mr.LocWitnesses, "|") != strings.Join(c.locWitnesses, "|") {
+					t.Errorf("%s location witnesses: service %v, CLI %v", mr.Model, mr.LocWitnesses, c.locWitnesses)
+				}
+				if mr.Violation != c.violation {
+					t.Errorf("%s violation: service %q, CLI %q", mr.Model, mr.Violation, c.violation)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceRepeatServedFromCache closes the loop on the verdict
+// cache: the same corpus query twice must hit, with the hit visible on
+// both the response header and the /statsz counters, and the cached
+// bytes identical to the computed ones.
+func TestConformanceRepeatServedFromCache(t *testing.T) {
+	s := serve.New(serve.Config{CacheBytes: 1 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pair, err := os.ReadFile("../../testdata/figure2.ccm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.CheckRequest{Pair: string(pair)})
+	var bodies [2][]byte
+	var sources [2]string
+	for i := range bodies {
+		resp, err := http.Post(ts.URL+"/v1/check", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i], _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		sources[i] = resp.Header.Get("X-Ccmd-Cache")
+	}
+	if sources != [2]string{"miss", "hit"} {
+		t.Fatalf("cache sources = %v, want [miss hit]", sources)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatal("cached response differs from the computed one")
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Cache.Hits != 1 {
+		t.Fatalf("statsz cache hits = %d, want 1", st.Cache.Hits)
+	}
+}

@@ -35,7 +35,6 @@ import (
 	"time"
 
 	"repro/internal/computation"
-	"repro/internal/dag"
 	"repro/internal/expt"
 	"repro/internal/memmodel"
 	"repro/internal/obs"
@@ -122,14 +121,13 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, model string, explain, demo, 
 		return 0
 	}
 
-	models := expt.Models()
+	models := memmodel.ModelNames()
 	if model != "" {
-		m, ok := expt.ModelByName(model)
-		if !ok {
+		if _, ok := expt.ModelByName(model); !ok {
 			fmt.Fprintf(stderr, "ccmc: unknown model %q\n", model)
 			return 1
 		}
-		models = []memmodel.Model{m}
+		models = []string{model}
 	}
 
 	ctx := context.Background()
@@ -142,62 +140,40 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, model string, explain, demo, 
 		Workers:      workers,
 		Budget:       maxStates,
 		MaxMemoBytes: maxMemoMB << 20,
-	}
-	pred := map[string]memmodel.Predicate{
-		"NN": memmodel.PredNN, "NW": memmodel.PredNW,
-		"WN": memmodel.PredWN, "WW": memmodel.PredWW,
+		Recorder:     rec,
 	}
 
 	anyOut, anyInconclusive := false, false
-	for _, m := range models {
-		var (
-			verdict  memmodel.Verdict
-			scOrder  []dag.Node
-			scStats  memmodel.SearchStats
-			lcSorts  [][]dag.Node
-			qdagViol *memmodel.Violation
-		)
-		switch m.Name() {
-		case "SC":
-			// The SC search runs on the engine, which emits its own
-			// run events; label them with the model name.
-			scOpts := opts
-			scOpts.Recorder = obs.WithRun(rec, "SC")
-			scOrder, verdict, scStats = memmodel.SCDecide(ctx, comp, ofn, scOpts)
-		case "LC":
-			// LC and the quantified-dag deciders are polynomial and
-			// engine-free; bracket them so recorded sessions still see
-			// one run per decision.
-			r := obs.WithRun(rec, "LC")
-			obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
-			lcSorts, verdict = memmodel.LCDecide(ctx, comp, ofn)
-			obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: verdict.String()})
-		default:
-			r := obs.WithRun(rec, m.Name())
-			obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
-			qdagViol, verdict = memmodel.QDagDecide(ctx, pred[m.Name()], comp, ofn)
-			obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: verdict.String()})
+	for _, name := range models {
+		// The decision itself is shared with the serving layer
+		// (memmodel.DecideByName), so CLI and service verdicts and
+		// witnesses come from one code path.
+		d, err := memmodel.DecideByName(ctx, name, comp, ofn, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccmc:", err)
+			return 1
 		}
+		verdict := d.Verdict
 		anyOut = anyOut || verdict.Out()
 		anyInconclusive = anyInconclusive || verdict.Inconclusive()
-		if m.Name() == "SC" {
+		if name == "SC" {
 			fmt.Fprintf(stdout, "%-4s %s  (search: %d states, %d memo hits, %d pruned, %d workers)\n",
-				m.Name(), verdict, scStats.States, scStats.MemoHits, scStats.Pruned, scStats.Workers)
+				name, verdict, d.Stats.States, d.Stats.MemoHits, d.Stats.Pruned, d.Stats.Workers)
 		} else {
-			fmt.Fprintf(stdout, "%-4s %s\n", m.Name(), verdict)
+			fmt.Fprintf(stdout, "%-4s %s\n", name, verdict)
 		}
 		if !explain {
 			continue
 		}
-		switch m.Name() {
+		switch name {
 		case "SC":
 			if verdict.In() {
-				fmt.Fprintf(stdout, "     witness sort: %s\n", renderOrder(named, scOrder))
+				fmt.Fprintf(stdout, "     witness sort: %s\n", named.RenderOrder(d.Order))
 			}
 		case "LC":
 			if verdict.In() {
-				for l, s := range lcSorts {
-					fmt.Fprintf(stdout, "     witness sort for location %d: %s\n", l, renderOrder(named, s))
+				for l, s := range d.LocOrders {
+					fmt.Fprintf(stdout, "     witness sort for location %d: %s\n", l, named.RenderOrder(s))
 				}
 			} else if verdict.Out() {
 				if e := memmodel.ExplainLC(comp, ofn); e != nil {
@@ -205,9 +181,9 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, model string, explain, demo, 
 				}
 			}
 		default:
-			if v := qdagViol; v != nil {
+			if v := d.Violation; v != nil {
 				fmt.Fprintf(stdout, "     violating triple at location %d: %s ≺ %s ≺ %s\n",
-					v.Loc, renderNode(named, v.U), renderNode(named, v.V), renderNode(named, v.W))
+					v.Loc, named.RenderNode(v.U), named.RenderNode(v.V), named.RenderNode(v.W))
 			}
 		}
 	}
@@ -219,25 +195,4 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, model string, explain, demo, 
 		return 1
 	}
 	return 0
-}
-
-func renderNode(named *computation.Named, u dag.Node) string {
-	if u == observer.Bottom {
-		return "⊥"
-	}
-	if named != nil {
-		return named.NodeName[u]
-	}
-	return fmt.Sprintf("%d", u)
-}
-
-func renderOrder(named *computation.Named, order []dag.Node) string {
-	s := ""
-	for i, u := range order {
-		if i > 0 {
-			s += " "
-		}
-		s += renderNode(named, u)
-	}
-	return s
 }

@@ -1,0 +1,160 @@
+// Command ccmd is the decision stack as a daemon: an HTTP/JSON
+// verification service exposing the model-membership checkers, the
+// post-mortem trace verifier, and the enumeration census.
+//
+//	ccmd -addr localhost:8080
+//
+//	POST /v1/check      (computation, observer) pair -> per-model verdicts
+//	POST /v1/verify     executed trace -> LC/SC explainability + witnesses
+//	POST /v1/enumerate  universe bounds -> membership census
+//	GET  /healthz       liveness ("ok" / 503 "draining")
+//	GET  /statsz        queue, cache, and per-endpoint gauges as JSON
+//
+// Request bodies are JSON wrapping the same text formats the CLIs
+// read, and verdicts come back in the same spelling the CLIs print —
+// the service is a conformant remote front end for ccmc and verify,
+// not a reimplementation.
+//
+// The daemon admission-controls NP-hard searches (bounded queue, 503 +
+// Retry-After on overload), serves repeated queries from a
+// content-addressed verdict cache, and on SIGTERM/SIGINT drains
+// in-flight decisions before exiting — past -drain-timeout they are
+// cancelled through the engine and reported INCONCLUSIVE(cancelled).
+//
+// Exit codes: 0 clean shutdown, 1 runtime error, 2 usage error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it serves until ctx is cancelled
+// (the signal path in main), then drains and exits.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+	slots := fs.Int("slots", 0, "concurrent decision slots (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth beyond the slots (0 = 2x slots)")
+	cacheMB := fs.Int64("cache-mb", 64, "verdict cache budget in MiB (0 disables storage)")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-request wall-clock budget")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "ceiling on per-request deadlines")
+	maxStates := fs.Int64("max-states", 0, "ceiling on per-decision state budgets (0 = none)")
+	maxMemoMB := fs.Int64("max-memo-mb", 0, "ceiling on per-search memo tables, MiB (0 = none)")
+	maxWorkers := fs.Int("max-workers", 0, "ceiling on per-request engine width (0 = none)")
+	maxEnumNodes := fs.Int("max-enum-nodes", 4, "ceiling on /v1/enumerate universe bounds")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace for in-flight work on shutdown before hard cancel")
+	obsFlags := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ccmd: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+	if *cacheMB < 0 || *slots < 0 || *queue < 0 {
+		fmt.Fprintln(stderr, "ccmd: -cache-mb, -slots, and -queue must be non-negative")
+		return 2
+	}
+
+	session, err := obsFlags.Start("ccmd", args, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccmd: %v\n", err)
+		return 2
+	}
+	code := serveLoop(ctx, serveConfig{
+		addr:         *addr,
+		drainTimeout: *drainTimeout,
+		server: serve.Config{
+			Slots:      *slots,
+			Queue:      *queue,
+			CacheBytes: *cacheMB << 20,
+			Limits: serve.Limits{
+				DefaultTimeout: *timeout,
+				MaxTimeout:     *maxTimeout,
+				MaxStates:      *maxStates,
+				MaxMemoMB:      *maxMemoMB,
+				MaxWorkers:     *maxWorkers,
+				MaxEnumNodes:   *maxEnumNodes,
+			},
+			Recorder: session.Rec,
+		},
+	}, stdout, stderr)
+	if err := session.Close(code); err != nil {
+		fmt.Fprintf(stderr, "ccmd: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+type serveConfig struct {
+	addr         string
+	drainTimeout time.Duration
+	server       serve.Config
+}
+
+func serveLoop(ctx context.Context, cfg serveConfig, stdout, stderr io.Writer) int {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccmd: %v\n", err)
+		return 1
+	}
+	srv := serve.New(cfg.server)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "ccmd: serving on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "ccmd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: admission closes first (new work sees 503 draining while
+	// the listener still answers, so health checks flip before the
+	// socket goes away), in-flight decisions finish — or are cancelled
+	// at the grace deadline — and only then does the listener close.
+	fmt.Fprintf(stdout, "ccmd: draining (grace %v)\n", cfg.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "ccmd: drain incomplete: %v\n", err)
+	}
+	// Past a hard cancel the decisions abort promptly, but their
+	// handlers still need a moment to flush the INCONCLUSIVE(cancelled)
+	// responses — give the listener teardown its own short grace.
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := httpSrv.Shutdown(hctx); err != nil {
+		fmt.Fprintf(stderr, "ccmd: %v\n", err)
+		httpSrv.Close()
+		code = 1
+	}
+	fmt.Fprintln(stdout, "ccmd: drained")
+	return code
+}

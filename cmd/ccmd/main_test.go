@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// syncBuffer lets the test read the daemon's output while run is
+// still writing it from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var addrRE = regexp.MustCompile(`serving on http://(\S+)`)
+
+// startDaemon runs the daemon on a free port and returns its base URL
+// and a channel carrying run's exit code after cancel fires.
+func startDaemon(t *testing.T, args []string, out, errb *syncBuffer) (base string, cancel func(), done chan int) {
+	t.Helper()
+	ctx, stop := context.WithCancel(context.Background())
+	done = make(chan int, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out, errb)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], stop, done
+		}
+		select {
+		case code := <-done:
+			stop()
+			t.Fatalf("daemon exited early with %d; stderr: %s", code, errb.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			stop()
+			t.Fatalf("daemon never announced its address; stdout: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunServesChecksAndDrains is the daemon's lifecycle contract:
+// it announces its address, answers decision queries (with the
+// verdict cache visible on repeats), and a signal — modeled by the
+// context cancel main wires to SIGTERM/SIGINT — drains it to a clean
+// exit 0 without leaking goroutines.
+func TestRunServesChecksAndDrains(t *testing.T) {
+	baseG := runtime.NumGoroutine()
+	var out, errb syncBuffer
+	base, cancel, done := startDaemon(t, nil, &out, &errb)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	pair, err := os.ReadFile("../../testdata/dekker.ccm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.CheckRequest{Pair: string(pair)})
+	var sources []string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("check %d = %d: %s", i, resp.StatusCode, data)
+		}
+		if i == 0 && !strings.Contains(string(data), `"text":"IN"`) {
+			t.Errorf("dekker check carries no IN verdict: %s", data)
+		}
+		sources = append(sources, resp.Header.Get("X-Ccmd-Cache"))
+	}
+	if sources[0] != "miss" || sources[1] != "hit" {
+		t.Errorf("cache sources = %v, want [miss hit]", sources)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never exited after cancel")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("stdout missing drain confirmation:\n%s", out.String())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseG+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d, baseline %d", runtime.NumGoroutine(), baseG)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunWritesReport: the daemon participates in the shared
+// observability contract — a -report run must produce a file that
+// validates against the pinned report schema.
+func TestRunWritesReport(t *testing.T) {
+	reportFile := t.TempDir() + "/report.json"
+	var out, errb syncBuffer
+	base, cancel, done := startDaemon(t, []string{"-report", reportFile}, &out, &errb)
+
+	pair, err := os.ReadFile("../../testdata/figure2.ccm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.CheckRequest{Pair: string(pair)})
+	resp, err := http.Post(base+"/v1/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	cancel()
+	if code := <-done; code != 0 {
+		t.Fatalf("exit code = %d; stderr: %s", code, errb.String())
+	}
+	report, err := os.ReadFile(reportFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := os.ReadFile("../../testdata/report.schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateReport(report, schema); err != nil {
+		t.Errorf("daemon report violates the schema: %v", err)
+	}
+	if !strings.Contains(string(report), `"tool": "ccmd"`) && !strings.Contains(string(report), `"tool":"ccmd"`) {
+		t.Errorf("report does not name the tool: %s", report)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus"},
+		{"positional"},
+		{"-cache-mb", "-1"},
+		{"-pprof", "999.999.999.999:0"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2; stderr: %s", args, code, errb.String())
+		}
+	}
+}
+
+// TestRunListenError: a dead listen address is a runtime error (exit
+// 1), reported on stderr, not a hang.
+func TestRunListenError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", ln.Addr().String()}, &out, &errb); code != 1 {
+		t.Fatalf("run on a bound port = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "address already in use") {
+		t.Errorf("stderr does not explain the failure: %s", errb.String())
+	}
+}

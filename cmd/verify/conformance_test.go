@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// CLI-vs-service conformance for the post-mortem checker: every trace
+// in the testdata corpus (plus the built-in demo) runs through the
+// verify CLI and through /v1/verify, and the verdict texts, witness
+// observers, and the relaxed-execution diagnosis must agree byte for
+// byte.
+
+// parseVerify reads verify -witness output back into check results.
+func parseVerify(out string) (lcText, scText, lcWitness, scWitness string, relaxed, unexplainable bool) {
+	cur := ""
+	for _, line := range strings.Split(out, "\n") {
+		detail := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "LC: "):
+			lcText = verdictOf(line)
+			cur = "LC"
+		case strings.HasPrefix(line, "SC: "):
+			scText = verdictOf(line)
+			cur = "SC"
+		case strings.HasPrefix(detail, "witness: "):
+			w := strings.TrimPrefix(detail, "witness: ")
+			if cur == "LC" {
+				lcWitness = w
+			} else {
+				scWitness = w
+			}
+		case strings.Contains(line, "a relaxed (coherent but not sequentially consistent) execution"):
+			relaxed = true
+		case strings.HasPrefix(line, "UNEXPLAINABLE"):
+			unexplainable = true
+		}
+	}
+	return
+}
+
+// verdictOf extracts the verdict text from "LC: <text>  (search states: N)".
+func verdictOf(line string) string {
+	text := line[len("LC: "):]
+	if i := strings.Index(text, "  (search states:"); i >= 0 {
+		text = text[:i]
+	}
+	return text
+}
+
+func postVerify(t *testing.T, url, traceText string) serve.VerifyResponse {
+	t.Helper()
+	body, _ := json.Marshal(serve.VerifyRequest{Trace: traceText})
+	resp, err := http.Post(url+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("service status %d: %s", resp.StatusCode, data)
+	}
+	var vr serve.VerifyResponse
+	if err := json.Unmarshal(data, &vr); err != nil {
+		t.Fatal(err)
+	}
+	return vr
+}
+
+func TestConformanceVerifyCorpus(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.trace")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no trace corpus: %v (%v)", files, err)
+	}
+	s := serve.New(serve.Config{CacheBytes: 1 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type instance struct {
+		name string
+		args []string
+		text string
+	}
+	cases := []instance{{name: "demo", args: []string{"-witness", "-demo"}, text: demoTrace}}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, instance{
+			name: filepath.Base(file),
+			args: []string{"-witness", file},
+			text: string(data),
+		})
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run(tc.args, &out, &errb)
+			if code != 0 && code != 1 {
+				t.Fatalf("verify exit %d; stderr: %s", code, errb.String())
+			}
+			lcText, scText, lcWitness, scWitness, relaxed, unexplainable := parseVerify(out.String())
+
+			vr := postVerify(t, ts.URL, tc.text)
+			if unexplainable {
+				if vr.Explainable || vr.LC != nil || vr.SC != nil {
+					t.Fatalf("CLI says unexplainable, service says %+v", vr)
+				}
+				return
+			}
+			if !vr.Explainable || vr.LC == nil || vr.SC == nil {
+				t.Fatalf("CLI ran checks, service skipped them: %+v\nCLI:\n%s", vr, out.String())
+			}
+			if vr.LC.Text != lcText {
+				t.Errorf("LC verdict: service %q, CLI %q", vr.LC.Text, lcText)
+			}
+			if vr.SC.Text != scText {
+				t.Errorf("SC verdict: service %q, CLI %q", vr.SC.Text, scText)
+			}
+			if vr.LC.Witness != lcWitness {
+				t.Errorf("LC witness: service %q, CLI %q", vr.LC.Witness, lcWitness)
+			}
+			if vr.SC.Witness != scWitness {
+				t.Errorf("SC witness: service %q, CLI %q", vr.SC.Witness, scWitness)
+			}
+			if vr.Relaxed != relaxed {
+				t.Errorf("relaxed diagnosis: service %v, CLI %v", vr.Relaxed, relaxed)
+			}
+			// Exit-code agreement: definitive violations are 1, clean 0.
+			wantCode := 0
+			if (vr.LC != nil && vr.LC.Verdict.Out()) || (vr.SC != nil && vr.SC.Verdict.Out()) {
+				wantCode = 1
+			}
+			if code != wantCode {
+				t.Errorf("CLI exit %d, service verdicts imply %d", code, wantCode)
+			}
+		})
+	}
+}
+
+// TestConformanceVerifyUnexplainable: a read of a value nobody wrote
+// short-circuits both front ends before any search runs.
+func TestConformanceVerifyUnexplainable(t *testing.T) {
+	const bad = `locs x
+node W W(x) = 1
+node R R(x) = 7
+edge W R
+`
+	dir := t.TempDir()
+	file := dir + "/bad.trace"
+	if err := os.WriteFile(file, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{file}, &out, &errb); code != 1 {
+		t.Fatalf("unexplainable trace: exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "UNEXPLAINABLE") {
+		t.Fatalf("CLI output missing UNEXPLAINABLE:\n%s", out.String())
+	}
+
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	vr := postVerify(t, ts.URL, bad)
+	if vr.Explainable || vr.LC != nil || vr.SC != nil || vr.Relaxed {
+		t.Fatalf("service response %+v, want unexplainable with checks skipped", vr)
+	}
+}

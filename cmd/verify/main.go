@@ -131,7 +131,7 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, time
 	lcOpts := opts
 	lcOpts.Recorder = obs.WithRun(rec, "LC")
 	lc, lcVerdict, lcStats := checker.VerifyLCCtx(ctx, tr, lcOpts)
-	fmt.Fprintf(stdout, "LC: %s  (search states: %d)\n", renderVerdict(lcVerdict), lcStats.States)
+	fmt.Fprintf(stdout, "LC: %s  (search states: %d)\n", checker.VerdictText(lcVerdict), lcStats.States)
 	violated = violated || lcVerdict.Out()
 	inconclusive = inconclusive || lcVerdict.Inconclusive()
 	if lcVerdict.In() && witness {
@@ -141,7 +141,7 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, time
 	scOpts := opts
 	scOpts.Recorder = obs.WithRun(rec, "SC")
 	scRes, scVerdict, scStats := checker.VerifySCCtx(ctx, tr, scOpts)
-	fmt.Fprintf(stdout, "SC: %s  (search states: %d)\n", renderVerdict(scVerdict), scStats.States)
+	fmt.Fprintf(stdout, "SC: %s  (search states: %d)\n", checker.VerdictText(scVerdict), scStats.States)
 	violated = violated || scVerdict.Out()
 	inconclusive = inconclusive || scVerdict.Inconclusive()
 	switch {
@@ -164,15 +164,4 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, time
 		return 3
 	}
 	return 0
-}
-
-func renderVerdict(v checker.Verdict) string {
-	switch {
-	case v.In():
-		return "explainable"
-	case v.Out():
-		return "VIOLATED"
-	default:
-		return v.String() // INCONCLUSIVE(reason)
-	}
 }

@@ -34,6 +34,22 @@ type SearchStats = search.Stats
 // Inconclusive with a machine-readable StopReason).
 type Verdict = search.Verdict
 
+// VerdictText renders a verification verdict in the spelling the
+// verify CLI and the serving layer share: "explainable" for In,
+// "VIOLATED" for Out, and the INCONCLUSIVE(reason) form otherwise.
+// Keeping the spelling here means a trace checked over HTTP reports
+// byte-identically to one checked at the command line.
+func VerdictText(v Verdict) string {
+	switch {
+	case v.In():
+		return "explainable"
+	case v.Out():
+		return "VIOLATED"
+	default:
+		return v.String()
+	}
+}
+
 // Result reports a verification outcome with a witness when positive.
 type Result struct {
 	OK bool

@@ -1,0 +1,38 @@
+package computation
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// Rendering helpers shared by the cmd tools and the serving layer, so
+// witnesses and counterexamples print byte-identically everywhere a
+// decision is reported.
+
+// RenderNode returns the display form of u: its name when the symbol
+// table covers it, "⊥" for dag.None (the paper's bottom / "no write
+// observed"), and the numeric id otherwise. A nil receiver renders
+// anonymous computations.
+func (n *Named) RenderNode(u dag.Node) string {
+	if u == dag.None {
+		return "⊥"
+	}
+	if n != nil && int(u) >= 0 && int(u) < len(n.NodeName) {
+		return n.NodeName[u]
+	}
+	return fmt.Sprintf("%d", u)
+}
+
+// RenderOrder renders a topological sort as space-separated node names.
+func (n *Named) RenderOrder(order []dag.Node) string {
+	var b strings.Builder
+	for i, u := range order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(n.RenderNode(u))
+	}
+	return b.String()
+}

@@ -2,9 +2,11 @@ package memmodel
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/computation"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/observer"
 	"repro/internal/search"
 )
@@ -78,6 +80,82 @@ func QDagDecide(ctx context.Context, p Predicate, c *computation.Computation, o 
 	default:
 		return nil, search.VerdictIn()
 	}
+}
+
+// ModelNames lists the decidable Figure 1 models, strongest first —
+// the order the ccmc CLI reports and the serving layer defaults to.
+func ModelNames() []string {
+	return []string{"SC", "LC", "NN", "NW", "WN", "WW"}
+}
+
+// PredicateByName resolves a quantified-dag model name to its
+// Condition 20.1 predicate.
+func PredicateByName(name string) (Predicate, bool) {
+	switch name {
+	case "NN":
+		return PredNN, true
+	case "NW":
+		return PredNW, true
+	case "WN":
+		return PredWN, true
+	case "WW":
+		return PredWW, true
+	}
+	return Predicate{}, false
+}
+
+// Decision is the structured outcome of one model-membership question:
+// the three-valued verdict plus whatever explanation the decider can
+// produce (a witness sort for SC, per-location sorts for LC, a
+// violating triple for the quantified-dag models) and the engine stats
+// when a search ran. The ccmc CLI and the serving layer both render
+// from this one shape, so their verdicts and witnesses cannot drift.
+type Decision struct {
+	// Model is the name the question was asked about.
+	Model string
+	// Verdict is the three-valued answer.
+	Verdict Verdict
+	// Stats reports the engine's work (SC only; zero otherwise).
+	Stats SearchStats
+	// Order is the witnessing topological sort when SC answered In.
+	Order []dag.Node
+	// LocOrders holds one witnessing sort per location when LC answered In.
+	LocOrders [][]dag.Node
+	// Violation is the witnessing triple when a quantified-dag model
+	// answered Out.
+	Violation *Violation
+}
+
+// DecideByName answers (c, o) ∈ model for one of the Figure 1 model
+// names under ctx, bracketing the decision in run events labeled with
+// the model name on opts.Recorder (the SC search emits its own engine
+// events; the polynomial deciders get an explicit RunStart/RunEnd pair
+// so recorded sessions still see one run per decision). An unknown
+// model name is an error.
+func DecideByName(ctx context.Context, model string, c *computation.Computation, o *observer.Observer, opts SearchOptions) (Decision, error) {
+	d := Decision{Model: model}
+	rec := opts.Recorder
+	switch model {
+	case "SC":
+		scOpts := opts
+		scOpts.Recorder = obs.WithRun(rec, "SC")
+		d.Order, d.Verdict, d.Stats = SCDecide(ctx, c, o, scOpts)
+	case "LC":
+		r := obs.WithRun(rec, "LC")
+		obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
+		d.LocOrders, d.Verdict = LCDecide(ctx, c, o)
+		obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: d.Verdict.String()})
+	default:
+		p, ok := PredicateByName(model)
+		if !ok {
+			return Decision{}, fmt.Errorf("memmodel: unknown model %q", model)
+		}
+		r := obs.WithRun(rec, model)
+		obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
+		d.Violation, d.Verdict = QDagDecide(ctx, p, c, o)
+		obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: d.Verdict.String()})
+	}
+	return d, nil
 }
 
 // searchLastWriterCtx is searchLastWriterOpts under a context.

@@ -1,0 +1,85 @@
+package memmodel_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/paperfig"
+)
+
+// TestDecideByNameMatchesModels checks the structured decision front
+// door against the Model interface on the Figure 2 pair: every name
+// decides, the verdicts agree with Contains, and the explanations are
+// populated exactly when the verdict calls for them.
+func TestDecideByNameMatchesModels(t *testing.T) {
+	fx := paperfig.Figure2()
+	models := map[string]memmodel.Model{
+		"SC": memmodel.SC, "LC": memmodel.LC, "NN": memmodel.NN,
+		"NW": memmodel.NW, "WN": memmodel.WN, "WW": memmodel.WW,
+	}
+	for _, name := range memmodel.ModelNames() {
+		d, err := memmodel.DecideByName(context.Background(), name, fx.Comp, fx.Obs, memmodel.SearchOptions{})
+		if err != nil {
+			t.Fatalf("DecideByName(%s): %v", name, err)
+		}
+		if d.Model != name {
+			t.Errorf("%s: decision labeled %q", name, d.Model)
+		}
+		if !d.Verdict.Decided {
+			t.Fatalf("%s: ungoverned decision came back inconclusive: %v", name, d.Verdict)
+		}
+		if want := models[name].Contains(fx.Comp, fx.Obs); d.Verdict.In() != want {
+			t.Errorf("%s: verdict %v, Contains = %v", name, d.Verdict, want)
+		}
+		switch name {
+		case "SC":
+			if d.Verdict.In() != (d.Order != nil) {
+				t.Errorf("SC: witness order present = %v, verdict %v", d.Order != nil, d.Verdict)
+			}
+		case "LC":
+			if d.Verdict.In() != (d.LocOrders != nil) {
+				t.Errorf("LC: witness sorts present = %v, verdict %v", d.LocOrders != nil, d.Verdict)
+			}
+		default:
+			if d.Verdict.Out() != (d.Violation != nil) {
+				t.Errorf("%s: violation present = %v, verdict %v", name, d.Violation != nil, d.Verdict)
+			}
+		}
+	}
+}
+
+func TestDecideByNameUnknownModel(t *testing.T) {
+	fx := paperfig.Figure2()
+	if _, err := memmodel.DecideByName(context.Background(), "TSO", fx.Comp, fx.Obs, memmodel.SearchOptions{}); err == nil {
+		t.Fatal("unknown model name decided without error")
+	}
+}
+
+func TestPredicateByName(t *testing.T) {
+	for _, name := range []string{"NN", "NW", "WN", "WW"} {
+		if _, ok := memmodel.PredicateByName(name); !ok {
+			t.Errorf("PredicateByName(%s) missing", name)
+		}
+	}
+	if _, ok := memmodel.PredicateByName("SC"); ok {
+		t.Error("PredicateByName(SC) resolved; SC is not a quantified-dag model")
+	}
+}
+
+// TestDecideByNameCancelled: a pre-cancelled context must yield a typed
+// inconclusive verdict from every decider, not a definitive answer.
+func TestDecideByNameCancelled(t *testing.T) {
+	fx := paperfig.Figure2()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range memmodel.ModelNames() {
+		d, err := memmodel.DecideByName(ctx, name, fx.Comp, fx.Obs, memmodel.SearchOptions{})
+		if err != nil {
+			t.Fatalf("DecideByName(%s): %v", name, err)
+		}
+		if !d.Verdict.Inconclusive() {
+			t.Errorf("%s: cancelled decision was %v, want inconclusive", name, d.Verdict)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package search
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 )
 
 // This file defines the typed three-valued verdict shared by every
@@ -100,6 +102,62 @@ func (v Verdict) String() string {
 	default:
 		return "INCONCLUSIVE(" + v.Reason.String() + ")"
 	}
+}
+
+// ParseStopReason inverts StopReason.String. Unknown spellings are an
+// error so wire decoding cannot silently invent a reason.
+func ParseStopReason(s string) (StopReason, error) {
+	for r := StopNone; r <= StopMemory; r++ {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return StopNone, fmt.Errorf("search: unknown stop reason %q", s)
+}
+
+// verdictJSON is the stable wire form of a Verdict: the CLI spelling
+// in "text" for humans and byte-exact comparisons, plus the structured
+// fields so clients never have to parse the spelling back apart.
+// Member is omitted unless decided; reason is omitted unless the
+// verdict is inconclusive.
+type verdictJSON struct {
+	Text    string `json:"text"`
+	Decided bool   `json:"decided"`
+	Member  *bool  `json:"member,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// MarshalJSON renders the verdict in its wire form.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	j := verdictJSON{Text: v.String(), Decided: v.Decided}
+	if v.Decided {
+		m := v.Member
+		j.Member = &m
+	} else {
+		j.Reason = v.Reason.String()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the wire form produced by MarshalJSON.
+func (v *Verdict) UnmarshalJSON(data []byte) error {
+	var j verdictJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*v = Verdict{Decided: j.Decided}
+	if j.Decided {
+		if j.Member != nil {
+			v.Member = *j.Member
+		}
+		return nil
+	}
+	r, err := ParseStopReason(j.Reason)
+	if err != nil {
+		return err
+	}
+	v.Reason = r
+	return nil
 }
 
 // Verdict folds a Result into the three-valued form: Found is

@@ -1,0 +1,68 @@
+package search_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/search"
+)
+
+// TestVerdictJSONRoundTrip pins the wire form of the three-valued
+// verdict: every constructor round-trips, decided verdicts carry
+// "member" and no "reason", inconclusive verdicts carry the reason
+// spelling and no "member", and "text" always matches String().
+func TestVerdictJSONRoundTrip(t *testing.T) {
+	verdicts := []search.Verdict{
+		search.VerdictIn(),
+		search.VerdictOut(),
+		search.VerdictInconclusive(search.StopBudget),
+		search.VerdictInconclusive(search.StopDeadline),
+		search.VerdictInconclusive(search.StopCancel),
+		search.VerdictInconclusive(search.StopMemory),
+	}
+	for _, v := range verdicts {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("unmarshal into map: %v", err)
+		}
+		if m["text"] != v.String() {
+			t.Errorf("%v: text = %v, want %q", v, m["text"], v.String())
+		}
+		if _, hasMember := m["member"]; hasMember != v.Decided {
+			t.Errorf("%v: member present = %v, want %v", v, hasMember, v.Decided)
+		}
+		if _, hasReason := m["reason"]; hasReason != v.Inconclusive() {
+			t.Errorf("%v: reason present = %v, want %v", v, hasReason, v.Inconclusive())
+		}
+		var back search.Verdict
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != v {
+			t.Errorf("round trip changed verdict: %v -> %v", v, back)
+		}
+	}
+}
+
+func TestVerdictJSONRejectsUnknownReason(t *testing.T) {
+	var v search.Verdict
+	if err := json.Unmarshal([]byte(`{"decided":false,"reason":"cosmic-rays"}`), &v); err == nil {
+		t.Fatal("unknown stop reason decoded without error")
+	}
+}
+
+func TestParseStopReason(t *testing.T) {
+	for r := search.StopNone; r <= search.StopMemory; r++ {
+		got, err := search.ParseStopReason(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseStopReason(%q) = %v, %v; want %v", r.String(), got, err, r)
+		}
+	}
+	if _, err := search.ParseStopReason("unknown"); err == nil {
+		t.Error("ParseStopReason accepted an unknown spelling")
+	}
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission control: a fixed pool of decision slots fronted by a
+// bounded wait queue. A request either
+//
+//   - acquires a slot immediately and runs,
+//   - waits in the queue until a slot frees (still counted in-flight
+//     for draining), or
+//   - is shed with ErrOverloaded when the queue is full — the handler
+//     maps that to 503 + Retry-After so well-behaved clients back off
+//     instead of piling onto a saturated backtracker.
+//
+// Draining (SIGTERM) flips one bit under the mutex: subsequent admits
+// fail with ErrDraining while everything already admitted — running or
+// queued — completes. drain() returns when the last of them releases,
+// which is the leak-free exit the daemon's shutdown path relies on.
+
+var (
+	// ErrOverloaded: the wait queue is full; shed the request.
+	ErrOverloaded = errors.New("serve: overloaded: request queue full")
+	// ErrDraining: the server is shutting down; no new work.
+	ErrDraining = errors.New("serve: draining: not accepting new work")
+)
+
+// AdmissionStats is the queue snapshot /statsz reports.
+type AdmissionStats struct {
+	Running  int   `json:"running"`
+	Waiting  int   `json:"waiting"`
+	Slots    int   `json:"slots"`
+	Queue    int   `json:"queue_depth"`
+	Shed     int64 `json:"shed_total"`
+	Admitted int64 `json:"admitted_total"`
+	Draining bool  `json:"draining"`
+}
+
+type admission struct {
+	mu       sync.Mutex
+	sem      chan struct{} // buffered; len = running
+	maxQueue int
+	waiting  int
+	draining bool
+	shed     int64
+	admitted int64
+	wg       sync.WaitGroup
+}
+
+func newAdmission(slots, queue int) *admission {
+	return &admission{sem: make(chan struct{}, slots), maxQueue: queue}
+}
+
+// admit asks for a decision slot. On success it returns a release
+// function the caller must invoke exactly once when the work is done.
+// ctx aborts the wait in the queue (a disconnected client should not
+// hold a queue position).
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	a.mu.Lock()
+	switch {
+	case a.draining:
+		a.mu.Unlock()
+		return nil, ErrDraining
+	case a.waiting >= a.maxQueue:
+		a.shed++
+		a.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	a.waiting++
+	a.admitted++
+	a.wg.Add(1) // under mu, so drain() cannot begin waiting between checks
+	a.mu.Unlock()
+
+	select {
+	case a.sem <- struct{}{}:
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				<-a.sem
+				a.wg.Done()
+			})
+		}, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+		a.wg.Done()
+		return nil, ctx.Err()
+	}
+}
+
+// drain stops admission and blocks until every admitted request has
+// released. Idempotent.
+func (a *admission) drain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+	a.wg.Wait()
+}
+
+// stats snapshots the queue.
+func (a *admission) stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Running:  len(a.sem),
+		Waiting:  a.waiting,
+		Slots:    cap(a.sem),
+		Queue:    a.maxQueue,
+		Shed:     a.shed,
+		Admitted: a.admitted,
+		Draining: a.draining,
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestAdmissionRunsUpToSlots(t *testing.T) {
+	a := newAdmission(2, 4)
+	r1, err1 := a.admit(context.Background())
+	r2, err2 := a.admit(context.Background())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("admits failed: %v, %v", err1, err2)
+	}
+	if st := a.stats(); st.Running != 2 || st.Waiting != 0 {
+		t.Fatalf("stats = %+v; want 2 running", st)
+	}
+	r1()
+	r2()
+	if st := a.stats(); st.Running != 0 {
+		t.Fatalf("after release: %+v; want 0 running", st)
+	}
+}
+
+// TestAdmissionShedsBeyondQueue: with both slots busy and the queue
+// full, the next admit must fail fast with ErrOverloaded — never block.
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a := newAdmission(1, 1)
+	release, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue with one waiter.
+	waiterDone := make(chan error, 1)
+	go func() {
+		r, err := a.admit(context.Background())
+		if err == nil {
+			defer r()
+		}
+		waiterDone <- err
+	}()
+	waitFor(t, func() bool { return a.stats().Waiting == 1 })
+
+	if _, err := a.admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow admit = %v, want ErrOverloaded", err)
+	}
+	if st := a.stats(); st.Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", st.Shed)
+	}
+
+	release() // slot frees; the waiter gets it
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+}
+
+// TestAdmissionQueueAbort: a client that gives up while queued must
+// free its queue position.
+func TestAdmissionQueueAbort(t *testing.T) {
+	a := newAdmission(1, 1)
+	release, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.admit(ctx)
+		done <- err
+	}()
+	waitFor(t, func() bool { return a.stats().Waiting == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted admit = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return a.stats().Waiting == 0 })
+}
+
+// TestAdmissionDrain: drain rejects new work immediately, waits for
+// running AND queued work, and is idempotent. No goroutines remain.
+func TestAdmissionDrain(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a := newAdmission(1, 2)
+	release, err := a.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		r, err := a.admit(context.Background())
+		if err == nil {
+			time.Sleep(20 * time.Millisecond) // simulate queued work running during drain
+			r()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return a.stats().Waiting == 1 })
+
+	drained := make(chan struct{})
+	go func() {
+		a.drain()
+		a.drain() // idempotent
+		close(drained)
+	}()
+	waitFor(t, func() bool { return a.stats().Draining })
+
+	if _, err := a.admit(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("admit during drain = %v, want ErrDraining", err)
+	}
+	select {
+	case <-drained:
+		t.Fatal("drain returned while work was still admitted")
+	default:
+	}
+
+	release() // running work finishes; queued waiter runs and finishes
+	if err := <-queued; err != nil {
+		t.Fatalf("queued work failed during drain: %v", err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	waitGoroutines(t, base)
+}
+
+// waitFor polls cond with a deadline — the tests' only clock.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitGoroutines polls until the goroutine count settles back to at
+// most base+2 — the leak check reused from the engine's governance
+// tests.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

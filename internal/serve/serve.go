@@ -1,0 +1,499 @@
+// Package serve is the service layer of the decision stack: a
+// long-running HTTP/JSON daemon (cmd/ccmd) that turns the SC/LC and
+// quantified-dag deciders, the post-mortem trace checker, and the
+// enumeration census into queryable endpoints:
+//
+//	POST /v1/check      (computation, observer) pair -> per-model verdicts
+//	POST /v1/verify     executed trace -> LC/SC explainability + witnesses
+//	POST /v1/enumerate  universe bounds -> membership census
+//	GET  /healthz       liveness ("ok" / 503 "draining")
+//	GET  /statsz        queue, cache, and per-endpoint gauges as JSON
+//
+// Three serving-stack behaviors wrap the deciders:
+//
+//   - Admission control: decisions run on a fixed slot pool behind a
+//     bounded wait queue; a full queue sheds load with 503 +
+//     Retry-After instead of letting NP-hard searches pile up. Every
+//     admitted request is governed by the server's Limits (deadline,
+//     state budget, memo bytes) mapped onto search.Options.
+//   - A content-addressed verdict cache: responses are keyed by the
+//     canonical re-rendering of the parsed input plus the model list
+//     and the governance fingerprint, with singleflight collapsing of
+//     duplicate in-flight queries and LRU eviction under a byte
+//     budget. Only definitive (fully decided) responses are cached.
+//   - Graceful drain: Shutdown stops admission, lets in-flight
+//     decisions finish, and — past a grace context — cancels them
+//     through the engine's context plumbing, so the daemon exits
+//     leak-free with typed INCONCLUSIVE(cancelled) verdicts instead of
+//     half-written responses.
+//
+// The decisions themselves are the same code paths the CLIs use
+// (memmodel.DecideByName, checker.Verify*Ctx, expt census), so a
+// verdict or witness obtained over HTTP is byte-identical to the CLI's
+// — the property the conformance suite in cmd/ccmc and cmd/verify
+// pins.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/expt"
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+	"repro/internal/observer"
+	"repro/internal/trace"
+)
+
+// maxBodyBytes bounds request bodies; computations worth checking are
+// tiny, and an unbounded decode is a trivial memory DoS.
+const maxBodyBytes = 1 << 20
+
+// Config assembles a Server.
+type Config struct {
+	// Slots is the number of concurrently running decisions
+	// (0 = GOMAXPROCS).
+	Slots int
+	// Queue is the bounded wait-queue depth behind the slots
+	// (0 = 2×Slots). Requests beyond slots+queue are shed with 503.
+	Queue int
+	// CacheBytes is the verdict cache budget (0 disables storage;
+	// singleflight collapsing stays on).
+	CacheBytes int64
+	// RetryAfter is the hint sent with 503 responses (0 = 1s).
+	RetryAfter time.Duration
+	// Limits governs every request's budgets.
+	Limits Limits
+	// Recorder receives the decision stack's observability events
+	// (engine runs, governor firings); nil disables them.
+	Recorder obs.Recorder
+}
+
+// EndpointStats is one endpoint's request gauges in /statsz.
+type EndpointStats struct {
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`
+	Shed      int64 `json:"shed"`
+	InFlight  int64 `json:"in_flight"`
+	LatencyMS int64 `json:"latency_ms_total"`
+}
+
+type endpointMetrics struct {
+	requests, errors, shed, inFlight, latencyUS atomic.Int64
+}
+
+func (m *endpointMetrics) stats() EndpointStats {
+	return EndpointStats{
+		Requests:  m.requests.Load(),
+		Errors:    m.errors.Load(),
+		Shed:      m.shed.Load(),
+		InFlight:  m.inFlight.Load(),
+		LatencyMS: m.latencyUS.Load() / 1000,
+	}
+}
+
+// Statsz is the /statsz document.
+type Statsz struct {
+	UptimeMS  int64                    `json:"uptime_ms"`
+	Draining  bool                     `json:"draining"`
+	Admission AdmissionStats           `json:"admission"`
+	Cache     CacheStats               `json:"cache"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// Server is the assembled service. Create with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg        Config
+	adm        *admission
+	cache      *cache
+	mux        *http.ServeMux
+	start      time.Time
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	metrics    map[string]*endpointMetrics
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Slots <= 0 {
+		cfg.Slots = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 2 * cfg.Slots
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Limits.MaxEnumNodes <= 0 {
+		cfg.Limits.MaxEnumNodes = 4
+	}
+	s := &Server{
+		cfg:   cfg,
+		adm:   newAdmission(cfg.Slots, cfg.Queue),
+		cache: newCache(cfg.CacheBytes),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		metrics: map[string]*endpointMetrics{
+			"check": {}, "verify": {}, "enumerate": {}, "healthz": {}, "statsz": {},
+		},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
+	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	s.mux.HandleFunc("POST /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /statsz", s.instrument("statsz", s.handleStatsz))
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: admission stops immediately (healthz
+// flips to 503, new decisions get 503 draining), in-flight decisions
+// run to completion, and if ctx expires first they are cancelled
+// through the engine's context plumbing (they then finish promptly
+// with INCONCLUSIVE(cancelled) verdicts). Shutdown returns nil after a
+// clean drain and ctx's error after a forced one; either way no
+// request goroutines remain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	drained := make(chan struct{})
+	go func() {
+		s.adm.drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // hard-stop in-flight searches; they exit promptly
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// instrument wraps a handler with the per-endpoint gauges.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.metrics[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Add(1)
+		m.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		m.inFlight.Add(-1)
+		m.latencyUS.Add(time.Since(start).Microseconds())
+		if sw.code >= 400 {
+			m.errors.Add(1)
+			if sw.code == http.StatusServiceUnavailable {
+				m.shed.Add(1)
+			}
+		}
+	}
+}
+
+// statusWriter records the response code for the gauges.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON marshals v with a trailing newline (curl-friendly).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil { // wire types are marshalable; this is a programming error
+		http.Error(w, `{"error":"internal: marshal failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// writeUnavailable maps admission failures onto 503 + Retry-After.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// decode reads a bounded JSON body, rejecting unknown fields so a
+// misspelled option fails loudly instead of silently running
+// ungoverned.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// decisionContext builds the context a decision runs under: the
+// request's governed deadline, hard-stopped by Shutdown's baseCancel.
+// It is deliberately NOT derived from the HTTP request context — the
+// computed verdict is content-addressed and shared (singleflight,
+// cache), so one impatient client must not cancel the fill its
+// duplicates are waiting on.
+func (s *Server) decisionContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(s.baseCtx, timeout)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
+// respond writes a computed-or-cached body, tagging the cache source.
+func respond(w http.ResponseWriter, src cacheSource, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ccmd-Cache", src.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	models, err := validModels(req.Models, memmodel.ModelNames())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	named, ofn, err := observer.ParsePairString(req.Pair)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if named.Comp.NumNodes() == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("pair has no nodes"))
+		return
+	}
+	// Content address: the canonical re-rendering of the parsed pair
+	// (comments, blank lines, and duplicate defaults vanish), the model
+	// list, and the effective governance fingerprint.
+	var canon strings.Builder
+	if err := observer.FormatPair(&canon, named, ofn); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := Key("check", canon.String(), strings.Join(models, ","), s.cfg.Limits.optionsFingerprint(req.Options))
+
+	body, src, err := s.cache.do(key, func() ([]byte, bool, error) {
+		release, err := s.adm.admit(r.Context())
+		if err != nil {
+			return nil, false, err
+		}
+		defer release()
+		opts, timeout := s.cfg.Limits.searchOptions(req.Options)
+		opts.Recorder = s.cfg.Recorder
+		ctx, cancel := s.decisionContext(timeout)
+		defer cancel()
+
+		resp := CheckResponse{Results: make([]ModelResult, 0, len(models))}
+		cacheable := true
+		for _, model := range models {
+			d, err := memmodel.DecideByName(ctx, model, named.Comp, ofn, opts)
+			if err != nil { // unreachable: models were validated
+				return nil, false, err
+			}
+			mr := ModelResult{Model: model, Verdict: d.Verdict}
+			switch model {
+			case "SC":
+				st := SearchStats{States: d.Stats.States, MemoHits: d.Stats.MemoHits, Pruned: d.Stats.Pruned, Workers: d.Stats.Workers}
+				mr.Stats = &st
+				if d.Verdict.In() {
+					mr.Witness = named.RenderOrder(d.Order)
+				}
+			case "LC":
+				if d.Verdict.In() {
+					for _, sort := range d.LocOrders {
+						mr.LocWitnesses = append(mr.LocWitnesses, named.RenderOrder(sort))
+					}
+				}
+			default:
+				if v := d.Violation; v != nil {
+					mr.Violation = fmt.Sprintf("%d: %s ≺ %s ≺ %s",
+						v.Loc, named.RenderNode(v.U), named.RenderNode(v.V), named.RenderNode(v.W))
+				}
+			}
+			cacheable = cacheable && d.Verdict.Decided
+			resp.Results = append(resp.Results, mr)
+		}
+		body, err := json.Marshal(resp)
+		return append(body, '\n'), cacheable, err
+	})
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	respond(w, src, body)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	nt, err := trace.ParseTraceString(req.Trace)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var canon strings.Builder
+	if err := nt.Format(&canon); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := Key("verify", canon.String(), s.cfg.Limits.optionsFingerprint(req.Options))
+
+	body, src, err := s.cache.do(key, func() ([]byte, bool, error) {
+		release, err := s.adm.admit(r.Context())
+		if err != nil {
+			return nil, false, err
+		}
+		defer release()
+		tr := nt.Trace
+		if !tr.Explainable() {
+			body, err := json.Marshal(VerifyResponse{Explainable: false})
+			return append(body, '\n'), err == nil, err
+		}
+		opts, timeout := s.cfg.Limits.searchOptions(req.Options)
+		ctx, cancel := s.decisionContext(timeout)
+		defer cancel()
+
+		lcOpts := opts
+		lcOpts.Recorder = obs.WithRun(s.cfg.Recorder, "LC")
+		lcRes, lcVerdict, lcStats := checker.VerifyLCCtx(ctx, tr, lcOpts)
+		lc := &VerifyResult{Verdict: lcVerdict, Text: checker.VerdictText(lcVerdict), States: lcStats.States}
+		if lcVerdict.In() {
+			lc.Witness = fmt.Sprintf("%v", lcRes.Observer)
+		}
+
+		scOpts := opts
+		scOpts.Recorder = obs.WithRun(s.cfg.Recorder, "SC")
+		scRes, scVerdict, scStats := checker.VerifySCCtx(ctx, tr, scOpts)
+		sc := &VerifyResult{Verdict: scVerdict, Text: checker.VerdictText(scVerdict), States: scStats.States}
+		if scVerdict.In() {
+			sc.Witness = fmt.Sprintf("%v", scRes.Observer)
+		}
+
+		resp := VerifyResponse{
+			Explainable: true,
+			LC:          lc,
+			SC:          sc,
+			Relaxed:     lcVerdict.In() && scVerdict.Out(),
+		}
+		body, err := json.Marshal(resp)
+		cacheable := lcVerdict.Decided && scVerdict.Decided
+		return append(body, '\n'), cacheable, err
+	})
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	respond(w, src, body)
+}
+
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	var req EnumerateRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.MaxNodes < 0 || req.Locs < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("max_nodes and locs must be non-negative"))
+		return
+	}
+	n := req.MaxNodes
+	if n == 0 || n > s.cfg.Limits.MaxEnumNodes {
+		n = s.cfg.Limits.MaxEnumNodes
+	}
+	locs := req.Locs
+	if locs == 0 {
+		locs = 1
+	}
+	workers := req.Workers
+	if workers < 0 {
+		workers = 0
+	}
+	key := Key("enumerate", strconv.Itoa(n), strconv.Itoa(locs))
+
+	body, src, err := s.cache.do(key, func() ([]byte, bool, error) {
+		release, err := s.adm.admit(r.Context())
+		if err != nil {
+			return nil, false, err
+		}
+		defer release()
+		// The census sweep has no mid-flight governor; MaxEnumNodes is
+		// the admission-time bound that keeps it tractable.
+		census := expt.MembershipCensusParallel(n, locs, workers)
+		body, err := json.Marshal(EnumerateResponse{MaxNodes: n, Locs: locs, Census: census})
+		return append(body, '\n'), err == nil, err
+	})
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	respond(w, src, body)
+}
+
+// writeAdmissionError distinguishes shed/drain (503) from client
+// aborts while queued (499-style; Go has no constant, use 503 as well
+// but without Retry-After semantics confusion — the client is gone).
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+		s.writeUnavailable(w, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client gave up while queued; nobody is reading, but
+		// complete the exchange for middleware's sake.
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.adm.stats().Draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	adm := s.adm.stats()
+	doc := Statsz{
+		UptimeMS:  time.Since(s.start).Milliseconds(),
+		Draining:  adm.Draining,
+		Admission: adm,
+		Cache:     s.cache.stats(),
+		Endpoints: make(map[string]EndpointStats, len(s.metrics)),
+	}
+	for name, m := range s.metrics {
+		doc.Endpoints[name] = m.stats()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}

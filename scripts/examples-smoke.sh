@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Examples smoke test: build and run every examples/* program and
+# assert each exits 0. The examples are executable documentation; a
+# library change that breaks one should fail CI, not a reader's first
+# five minutes with the repo. Run from the repository root.
+set -u
+
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+
+fail=0
+for dir in examples/*/; do
+    name=$(basename "$dir")
+    echo "== $name"
+    if ! go build -o "$BIN/$name" "./$dir"; then
+        echo "examples-smoke: $name failed to build" >&2
+        fail=1
+        continue
+    fi
+    if ! "$BIN/$name" >"$BIN/$name.out" 2>&1; then
+        echo "examples-smoke: $name exited nonzero; output:" >&2
+        tail -20 "$BIN/$name.out" >&2
+        fail=1
+        continue
+    fi
+    if [ ! -s "$BIN/$name.out" ]; then
+        echo "examples-smoke: $name produced no output" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "examples-smoke: FAILED" >&2
+    exit 1
+fi
+echo "examples-smoke: all examples built and ran"

@@ -14,37 +14,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/obs"
 )
 
 func main() {
-	schemaPath := flag.String("schema", "testdata/report.schema.json", "schema file to validate against")
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: reportcheck [-schema FILE] report.json...")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reportcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	schemaPath := fs.String("schema", "testdata/report.schema.json", "schema file to validate against")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: reportcheck [-schema FILE] report.json...")
+		return 2
 	}
 	schema, err := os.ReadFile(*schemaPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "reportcheck:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "reportcheck:", err)
+		return 2
 	}
 	code := 0
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		report, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "reportcheck:", err)
+			fmt.Fprintln(stderr, "reportcheck:", err)
 			code = 1
 			continue
 		}
 		if err := obs.ValidateReport(report, schema); err != nil {
-			fmt.Fprintf(os.Stderr, "reportcheck: %s: %v\n", path, err)
+			fmt.Fprintf(stderr, "reportcheck: %s: %v\n", path, err)
 			code = 1
 			continue
 		}
-		fmt.Printf("reportcheck: %s: OK\n", path)
+		fmt.Fprintf(stdout, "reportcheck: %s: OK\n", path)
 	}
-	os.Exit(code)
+	return code
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const schemaFlag = "../../testdata/report.schema.json"
+
+// writeValidReport produces a real report through the same collector
+// the CLIs use, so the fixture tracks the actual report format.
+func writeValidReport(t *testing.T, path string) {
+	t.Helper()
+	rc := obs.NewReportCollector("testtool", []string{"-demo"})
+	obs.Emit(rc, obs.Event{Kind: obs.RunStart, Run: "SC", Total: 1})
+	obs.Emit(rc, obs.Event{Kind: obs.RunEnd, Run: "SC", Str: "IN"})
+	if err := rc.Finish(0).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidReportPasses(t *testing.T) {
+	report := t.TempDir() + "/report.json"
+	writeValidReport(t, report)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-schema", schemaFlag, report}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("stdout missing OK confirmation: %s", out.String())
+	}
+}
+
+func TestRunSchemaViolationFails(t *testing.T) {
+	cases := map[string]string{
+		"empty object":  `{}`,
+		"wrong type":    `{"tool": 42}`,
+		"not JSON":      `not json at all`,
+		"null document": `null`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			report := t.TempDir() + "/bad.json"
+			if err := os.WriteFile(report, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out, errb bytes.Buffer
+			if code := run([]string{"-schema", schemaFlag, report}, &out, &errb); code != 1 {
+				t.Errorf("exit code = %d, want 1; stderr: %s", code, errb.String())
+			}
+			if errb.Len() == 0 {
+				t.Error("violation not reported on stderr")
+			}
+		})
+	}
+}
+
+// TestRunMixedReports: one bad report taints the batch (exit 1) but
+// every good report is still validated and confirmed.
+func TestRunMixedReports(t *testing.T) {
+	dir := t.TempDir()
+	good := dir + "/good.json"
+	bad := dir + "/bad.json"
+	writeValidReport(t, good)
+	if err := os.WriteFile(bad, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-schema", schemaFlag, good, bad}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "good.json: OK") {
+		t.Errorf("good report not confirmed: %s", out.String())
+	}
+	if !strings.Contains(errb.String(), "bad.json") {
+		t.Errorf("bad report not named: %s", errb.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,        // no reports
+		{"-bogus"}, // unknown flag
+		{"-schema", "/nonexistent/schema.json", "r.json"}, // unreadable schema
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunMissingReportFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-schema", schemaFlag, "/nonexistent/report.json"}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+}
