@@ -95,3 +95,24 @@ func TestRunReport(t *testing.T) {
 		t.Errorf("report does not name the tool: %s", report)
 	}
 }
+
+// TestRunReduceMatches: -reduce must print the exact same tables as the
+// unreduced sweeps (orbit weighting preserves every total).
+func TestRunReduceMatches(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-n", "3"},
+		{"-n", "3", "-persize"},
+		{"-n", "3", "-locs", "2", "-persize"},
+	} {
+		var full, red, errb bytes.Buffer
+		if code := run(tc, &full, &errb); code != 0 {
+			t.Fatalf("%v: exit code = %d; stderr: %s", tc, code, errb.String())
+		}
+		if code := run(append(append([]string{}, tc...), "-reduce"), &red, &errb); code != 0 {
+			t.Fatalf("%v -reduce: exit code = %d; stderr: %s", tc, code, errb.String())
+		}
+		if full.String() != red.String() {
+			t.Errorf("%v: -reduce output differs:\n%s\nvs\n%s", tc, red.String(), full.String())
+		}
+	}
+}

@@ -5,14 +5,21 @@
 //
 // Usage:
 //
-//	lattice [-n MAXNODES] [-locs L] [-census] [-star NN|WN|NW] [-props MODEL] [-findtrap MODEL]
+//	lattice [-n MAXNODES] [-locs L] [-reduce] [-census] [-star NN|WN|NW] [-props MODEL] [-findtrap MODEL]
 //
 // Examples:
 //
 //	lattice -n 4              # full Figure 1 check (default)
+//	lattice -n 5 -reduce      # same check, canonical representatives only
 //	lattice -n 4 -star NN     # Theorem 23: NN* = LC on the interior
 //	lattice -n 4 -star WN     # Section 7 open problem probe
 //	lattice -n 3 -props NN    # completeness/monotonicity/constructibility
+//
+// -reduce decides one representative per isomorphism class and weights
+// it by its orbit size: counts, verdicts, and witnesses are identical
+// to the unreduced sweep, but sizes like -n 5 become tractable. It
+// applies to the default check, -census, and -props (the -star and
+// -findtrap iterations mutate computations and have no reduced form).
 //
 // -workers shards the sweep for the default lattice check and -census.
 // The -star/-props/-findtrap experiments run the serial fixpoint code;
@@ -50,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	props := fs.String("props", "", "check completeness/monotonicity/constructibility for this model")
 	findtrap := fs.String("findtrap", "", "search for the smallest non-constructibility witness of this model")
 	workers := fs.Int("workers", 0, "parallel sweep workers for the lattice check and -census (0 = GOMAXPROCS)")
+	reduce := fs.Bool("reduce", false, "sweep canonical representatives only (orbit-weighted); identical output, one isomorphism-class member decided per class")
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,13 +80,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	// The star fixpoint and trap search mutate computations as they
+	// iterate, which a representative-only sweep cannot express; only
+	// the pure membership sweeps have reduced counterparts.
+	if *reduce && (*star != "" || *findtrap != "") {
+		fmt.Fprintln(stderr, "lattice: -reduce applies only to the default lattice check, -census, and -props")
+		return 2
+	}
 
 	sess, err := obsFlags.Start("lattice", args, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "lattice:", err)
 		return 2
 	}
-	code := runChecked(*maxNodes, *locs, *census, *star, *props, *findtrap, *workers, sess.Rec, stdout, stderr)
+	code := runChecked(*maxNodes, *locs, *census, *star, *props, *findtrap, *workers, *reduce, sess.Rec, stdout, stderr)
 	if err := sess.Close(code); err != nil {
 		fmt.Fprintln(stderr, "lattice:", err)
 		if code == 0 {
@@ -92,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // onto the exit-code convention. rec observes the run: the default
 // lattice check streams per-edge phases and sweep gauges; the other
 // branches bracket their (serial) experiment in a RunStart/RunEnd pair.
-func runChecked(maxNodes, locs int, census bool, star, props, findtrap string, workers int, rec obs.Recorder, stdout, stderr io.Writer) int {
+func runChecked(maxNodes, locs int, census bool, star, props, findtrap string, workers int, reduce bool, rec obs.Recorder, stdout, stderr io.Writer) int {
 	// bracket wraps a serial experiment so -report/-trace sessions see
 	// one run per invocation even off the parallel sweep path.
 	bracket := func(name string, fn func() (string, bool)) int {
@@ -142,13 +157,28 @@ func runChecked(maxNodes, locs int, census bool, star, props, findtrap string, w
 			return 2
 		}
 		return bracket("props "+m.Name(), func() (string, bool) {
-			rep := expt.RunProperties(m, maxNodes, locs)
+			var rep expt.PropertyReport
+			if reduce {
+				rep = expt.RunPropertiesReduced(m, maxNodes, locs)
+			} else {
+				rep = expt.RunProperties(m, maxNodes, locs)
+			}
 			return rep.String(), rep.OK()
 		})
 	case census:
 		return bracket("census", func() (string, bool) {
+			if reduce {
+				return expt.MembershipCensusReducedParallel(maxNodes, locs, workers), true
+			}
 			return expt.MembershipCensusParallel(maxNodes, locs, workers), true
 		})
+	case reduce:
+		rep := expt.RunLatticeReduced(maxNodes, locs, workers, rec)
+		fmt.Fprint(stdout, rep)
+		if !rep.AllOK() {
+			return 1
+		}
+		return 0
 	default:
 		rep := expt.RunLatticeObs(maxNodes, locs, workers, rec)
 		fmt.Fprint(stdout, rep)

@@ -151,3 +151,35 @@ func TestTraceFlag(t *testing.T) {
 		t.Fatal("trace is empty for a 7-edge lattice check")
 	}
 }
+
+// TestReduceMatchesUnreduced: the -reduce sweeps must render the exact
+// same bytes as their unreduced counterparts on every branch that
+// supports the flag.
+func TestReduceMatchesUnreduced(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-n", "3"},
+		{"-n", "3", "-workers", "2"},
+		{"-n", "3", "-census"},
+		{"-n", "3", "-props", "SC"},
+	} {
+		fullCode, full, _ := runLattice(t, tc...)
+		redCode, red, _ := runLattice(t, append(append([]string{}, tc...), "-reduce")...)
+		if fullCode != redCode {
+			t.Fatalf("%v: exit code %d with -reduce, %d without", tc, redCode, fullCode)
+		}
+		if full != red {
+			t.Fatalf("%v: -reduce output differs:\n%s\nvs\n%s", tc, red, full)
+		}
+	}
+}
+
+func TestReduceRejectedOnMutatingBranches(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "3", "-reduce", "-star", "NN"},
+		{"-n", "3", "-reduce", "-findtrap", "NN"},
+	} {
+		if code, out, _ := runLattice(t, args...); code != 2 {
+			t.Errorf("%v: exit code = %d, want 2; output:\n%s", args, code, out)
+		}
+	}
+}

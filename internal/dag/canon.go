@@ -1,0 +1,376 @@
+package dag
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements canonical forms for the ordered-node universe
+// (EachDagOnNodes × labelings): a canonical-labeling pass in the
+// small-n McKay style, specialised to the enumeration order the repo
+// already uses so that symmetry-reduced sweeps report the *same*
+// deterministic witnesses as the full sweeps.
+//
+// The universe enumerates dags by edge bitmask (slot (u,v), u < v,
+// slots ordered u-ascending then v-ascending, slot i = mask bit i) and,
+// within a dag, label vectors lexicographically (node 0 outermost,
+// labels in a fixed palette order). Two members are isomorphic iff one
+// is the image of the other under a topological relabeling — a
+// permutation π with π(u) < π(v) for every edge (u,v), i.e. a linear
+// extension of the dag. We define the canonical representative of an
+// isomorphism class as its enumeration-order-minimal member: smallest
+// edge mask first, then lexicographically smallest label vector among
+// the relabelings that realise the minimal mask.
+//
+// Minimality under this order is decided by a reverse-placement
+// branch-and-bound. Assign positions n-1 down to 0; a node may take
+// position k only once all its successors hold higher positions (so the
+// assignment is a topological relabeling). Placing position k fixes
+// exactly the mask slots (k, v) for v > k — a contiguous block of bits
+// strictly more significant than every slot (u, v) with u < k — so the
+// placement order examines the mask's bits in descending significance
+// and the integer comparison against the dag's own mask proceeds
+// block-by-block:
+//
+//	candInt(w) = Σ_{v > k, w→perm(v)} 1<<v   vs   selfInt(k) = adj[k]
+//
+// (for an ordered-universe dag adj[k] only holds bits above k, and in
+// the identity labeling node v sits at position v, so the two encodings
+// agree). candInt > selfInt prunes the candidate (its completions all
+// exceed the dag's own mask); candInt < selfInt proves the whole dag
+// non-canonical (the prefix equals self and every partial reverse
+// placement extends to a full relabeling); equality recurses. The
+// block comparison subsumes degree refinement: a candidate whose
+// out-degree differs from position k's can never tie, but it can still
+// prove non-canonicality, so it must reach the comparison rather than
+// be pre-filtered. If the search completes, the dag's mask is minimal
+// and the completions collected are exactly the mask-preserving
+// relabelings P (the automorphism group of the unlabeled dag acting on
+// the ordered universe).
+//
+// Per label vector, the member is canonical iff no σ ∈ P makes
+// labels∘σ lexicographically smaller, and its orbit (isomorphism-class
+// size within the universe) follows from orbit–stabilizer: the class
+// members with this dag's mask are the images under P, each counted
+// once per labeled automorphism, and every linear extension of the dag
+// maps the member onto some class member, so
+//
+//	orbit = linext(dag) / |{σ ∈ P : labels∘σ = labels}|
+//
+// with linext computed by the standard downward-closed-subset DP.
+
+// canonMaxNodes bounds the canonicalizer's bitmask machinery. The
+// ordered-universe enumerator tops out near n=8 (30 edge slots), so 16
+// leaves headroom while keeping the linear-extension DP (2^n words)
+// small.
+const canonMaxNodes = 16
+
+// Canonicalizer decides canonicality and orbit sizes for members of
+// the ordered-node universe. It is a reusable scratch structure: one
+// AnalyzeDag call per dag, then any number of LabelOrbit calls for that
+// dag's label vectors. Not safe for concurrent use; each goroutine
+// should own one.
+type Canonicalizer struct {
+	n       int
+	adj     []uint64 // adj[u]: successor bitmask (bits strictly above u)
+	pred    []uint64 // pred[u]: predecessor bitmask
+	pos     []int32  // pos[orig]: assigned position (placed nodes only)
+	perm    []Node   // perm[position] = original node, during the DFS
+	placed  uint64   // original nodes already placed
+	perms   []Node   // flat n-strided slab of mask-preserving relabelings
+	linext  int64
+	trivial bool // P = {identity}: every labeling is canonical
+	dp      []int64
+}
+
+// NewCanonicalizer returns an empty canonicalizer; AnalyzeDag must be
+// called before LabelOrbit.
+func NewCanonicalizer() *Canonicalizer { return &Canonicalizer{} }
+
+// AnalyzeDag analyzes one ordered-universe dag (every edge from a lower
+// to a higher node index) and reports whether its edge mask is minimal
+// over all topological relabelings. When it returns false the dag — and
+// therefore every labeling of it — is non-canonical and the caller can
+// skip the whole block. When it returns true the canonicalizer holds
+// the dag's mask-preserving relabelings and linear-extension count for
+// subsequent LabelOrbit calls.
+func (cz *Canonicalizer) AnalyzeDag(d *Dag) bool {
+	n := d.NumNodes()
+	if n > canonMaxNodes {
+		panic(fmt.Sprintf("dag: canonicalizer supports at most %d nodes, got %d", canonMaxNodes, n))
+	}
+	cz.n = n
+	if cap(cz.adj) < n {
+		cz.adj = make([]uint64, n)
+		cz.pred = make([]uint64, n)
+		cz.pos = make([]int32, n)
+		cz.perm = make([]Node, n)
+	}
+	cz.adj = cz.adj[:n]
+	cz.pred = cz.pred[:n]
+	cz.pos = cz.pos[:n]
+	cz.perm = cz.perm[:n]
+	for u := 0; u < n; u++ {
+		var m, p uint64
+		for _, v := range d.Succs(Node(u)) {
+			if int(v) <= u {
+				panic(fmt.Sprintf("dag: canonicalizer requires ordered-universe edges, got %d->%d", u, v))
+			}
+			m |= 1 << uint(v)
+		}
+		for _, v := range d.Preds(Node(u)) {
+			p |= 1 << uint(v)
+		}
+		cz.adj[u] = m
+		cz.pred[u] = p
+	}
+	cz.placed = 0
+	cz.perms = cz.perms[:0]
+	cz.linext = 0
+	cz.trivial = false
+	if n == 0 {
+		cz.linext = 1
+		cz.trivial = true
+		return true
+	}
+	if !cz.analyze(n - 1) {
+		return false
+	}
+	cz.linext = cz.countLinext()
+	cz.trivial = len(cz.perms) == n // only the identity survived
+	return true
+}
+
+// analyze runs the reverse-placement branch-and-bound from position k.
+// It returns false as soon as some branch proves the mask non-minimal;
+// on true, every mask-preserving completion has been appended to perms.
+func (cz *Canonicalizer) analyze(k int) bool {
+	if k < 0 {
+		cz.perms = append(cz.perms, cz.perm...)
+		return true
+	}
+	self := cz.adj[k]
+	for w := 0; w < cz.n; w++ {
+		wb := uint64(1) << uint(w)
+		if cz.placed&wb != 0 || cz.adj[w]&^cz.placed != 0 {
+			continue // already placed, or a successor still unplaced
+		}
+		ci := cz.candInt(w)
+		if ci > self {
+			continue
+		}
+		if ci < self {
+			return false
+		}
+		cz.placed |= wb
+		cz.pos[w] = int32(k)
+		cz.perm[k] = Node(w)
+		ok := cz.analyze(k - 1)
+		cz.placed &^= wb
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// candInt is candidate w's mask block at the current position: bit v
+// for each successor of w, read through the positions already assigned.
+func (cz *Canonicalizer) candInt(w int) uint64 {
+	m := cz.adj[w]
+	var x uint64
+	for m != 0 {
+		v := bits.TrailingZeros64(m)
+		m &= m - 1
+		x |= 1 << uint(cz.pos[v])
+	}
+	return x
+}
+
+// countLinext counts the dag's linear extensions by the subset DP
+// g(S) = Σ_{u ∈ S, preds(u) ⊆ S\{u}} g(S\{u}), g(∅) = 1; subsets that
+// are not downward closed accumulate 0 on their own.
+func (cz *Canonicalizer) countLinext() int64 {
+	n := cz.n
+	size := 1 << uint(n)
+	if cap(cz.dp) < size {
+		cz.dp = make([]int64, size)
+	}
+	dp := cz.dp[:size]
+	dp[0] = 1
+	for s := 1; s < size; s++ {
+		var total int64
+		m := uint64(s)
+		for m != 0 {
+			u := bits.TrailingZeros64(m)
+			m &= m - 1
+			rest := uint64(s) &^ (1 << uint(u))
+			if cz.pred[u]&^rest == 0 {
+				total += dp[rest]
+			}
+		}
+		dp[s] = total
+	}
+	return dp[size-1]
+}
+
+// NumPerms returns |P|, the number of mask-preserving relabelings of
+// the last analyzed (canonical) dag, identity included.
+func (cz *Canonicalizer) NumPerms() int {
+	if cz.n == 0 {
+		return 1
+	}
+	return len(cz.perms) / cz.n
+}
+
+// Linext returns the linear-extension count of the last analyzed
+// (canonical) dag.
+func (cz *Canonicalizer) Linext() int64 { return cz.linext }
+
+// LabelOrbit decides one label vector of the last analyzed canonical
+// dag. labels[u] is node u's label as a comparable palette index (the
+// enumeration's own ordering). It reports whether (dag, labels) is the
+// canonical representative of its isomorphism class and, if so, the
+// class's size within the ordered-node universe. Non-canonical members
+// return (0, false).
+func (cz *Canonicalizer) LabelOrbit(labels []int32) (orbit int64, canonical bool) {
+	if len(labels) != cz.n {
+		panic(fmt.Sprintf("dag: LabelOrbit got %d labels for %d nodes", len(labels), cz.n))
+	}
+	if cz.trivial {
+		return cz.linext, true
+	}
+	n := cz.n
+	var aut int64
+	for off := 0; off < len(cz.perms); off += n {
+		p := cz.perms[off : off+n]
+		i := 0
+		for ; i < n; i++ {
+			a, b := labels[p[i]], labels[i]
+			if a != b {
+				if a < b {
+					return 0, false // labels∘σ is lexicographically smaller
+				}
+				break
+			}
+		}
+		if i == n {
+			aut++ // σ is a labeled automorphism
+		}
+	}
+	return cz.linext / aut, true
+}
+
+// minimalFormMaxNodes bounds MinimalForm: the full edge mask must fit
+// one uint64 (n(n-1)/2 ≤ 64 slots), and the brute-force fold below is
+// exponential in n anyway.
+const minimalFormMaxNodes = 10
+
+// MinimalForm returns the canonical representative of (d, labels)'s
+// isomorphism class in the ordered-node universe: the relabeled dag
+// (every edge low→high, minimal edge mask, then minimal label vector),
+// the relabeled labels, and the witnessing relabeling perm with
+// perm[position] = original node. d may be any acyclic dag — it need
+// not come from the ordered universe.
+//
+// Implementation is a deliberate brute force: fold min(mask, labels)
+// over every topological relabeling (up to linext(d) ≤ n! completions).
+// It is the independent oracle the canonicalizer is tested and fuzzed
+// against, so it favors obviousness over the block-by-block pruning of
+// AnalyzeDag; enumeration hot paths must use AnalyzeDag/LabelOrbit.
+func MinimalForm(d *Dag, labels []int32) (*Dag, []int32, []Node) {
+	n := d.NumNodes()
+	if n > minimalFormMaxNodes {
+		panic(fmt.Sprintf("dag: MinimalForm supports at most %d nodes, got %d", minimalFormMaxNodes, n))
+	}
+	if len(labels) != n {
+		panic(fmt.Sprintf("dag: MinimalForm got %d labels for %d nodes", len(labels), n))
+	}
+	if n == 0 {
+		return New(0), []int32{}, []Node{}
+	}
+	pred := make([]uint64, n)
+	for u := 0; u < n; u++ {
+		for _, v := range d.Succs(Node(u)) {
+			pred[v] |= 1 << uint(u)
+		}
+	}
+	// slotBase[u]: index of slot (u, u+1); slot (u,v) = slotBase[u]+v-u-1.
+	slotBase := make([]int, n)
+	for u, acc := 0, 0; u < n; u++ {
+		slotBase[u] = acc
+		acc += n - 1 - u
+	}
+	pos := make([]int32, n)
+	perm := make([]Node, n)
+	var placed uint64
+	bestSet := false
+	var bestMask uint64
+	bestLabels := make([]int32, n)
+	bestPerm := make([]Node, n)
+
+	// Forward placement: position k takes any node whose predecessors
+	// are all placed; the edges into k from placed predecessors become
+	// slots (pos[p], k) of the relabeled mask.
+	var rec func(k int, mask uint64)
+	rec = func(k int, mask uint64) {
+		if k == n {
+			better := !bestSet || mask < bestMask
+			if !better && mask == bestMask {
+				for i := 0; i < n; i++ {
+					a, b := labels[perm[i]], bestLabels[i]
+					if a != b {
+						better = a < b
+						break
+					}
+				}
+			}
+			if better {
+				bestSet = true
+				bestMask = mask
+				for i := 0; i < n; i++ {
+					bestLabels[i] = labels[perm[i]]
+				}
+				copy(bestPerm, perm)
+			}
+			return
+		}
+		progress := false
+		for w := 0; w < n; w++ {
+			wb := uint64(1) << uint(w)
+			if placed&wb != 0 || pred[w]&^placed != 0 {
+				continue
+			}
+			progress = true
+			add := mask
+			m := pred[w]
+			for m != 0 {
+				p := bits.TrailingZeros64(m)
+				m &= m - 1
+				u := int(pos[p])
+				add |= 1 << uint(slotBase[u]+k-u-1)
+			}
+			placed |= wb
+			pos[w] = int32(k)
+			perm[k] = Node(w)
+			rec(k+1, add)
+			placed &^= wb
+		}
+		if !progress {
+			panic("dag: MinimalForm requires an acyclic dag")
+		}
+	}
+	rec(0, 0)
+
+	bestPos := make([]int32, n)
+	for k, w := range bestPerm {
+		bestPos[w] = int32(k)
+	}
+	out := New(n)
+	for u := 0; u < n; u++ {
+		for _, v := range d.Succs(Node(u)) {
+			out.MustAddEdge(Node(bestPos[u]), Node(bestPos[v]))
+		}
+	}
+	return out, bestLabels, bestPerm
+}

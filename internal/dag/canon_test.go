@@ -1,0 +1,288 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// orderedMask recomputes the enumeration bitmask of an ordered-universe
+// dag: slot (u,v), u < v, slots ordered u-ascending then v-ascending.
+func orderedMask(d *Dag) uint64 {
+	n := d.NumNodes()
+	var mask uint64
+	slot := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if d.HasEdge(Node(u), Node(v)) {
+				mask |= 1 << uint(slot)
+			}
+			slot++
+		}
+	}
+	return mask
+}
+
+// eachLabeling enumerates label vectors over a palette of k labels in
+// lexicographic order (node 0 most significant), mirroring the
+// computation enumeration's label recursion.
+func eachLabeling(n, k int, fn func(labels []int32)) {
+	labels := make([]int32, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			fn(labels)
+			return
+		}
+		for l := int32(0); l < int32(k); l++ {
+			labels[i] = l
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func classKey(d *Dag, labels []int32) string {
+	return fmt.Sprint(orderedMask(d), labels)
+}
+
+// TestCanonicalizerPartitionsUniverse checks, by brute force over the
+// whole ordered universe at small n, that the canonicalizer marks
+// exactly one member per isomorphism class — the enumeration-order
+// first — and that the reported orbit is exactly the class size.
+func TestCanonicalizerPartitionsUniverse(t *testing.T) {
+	const palette = 3 // mirrors 1 location: {N, R(0), W(0)}
+	for n := 0; n <= 4; n++ {
+		type classInfo struct {
+			size      int64
+			firstIdx  int
+			canonIdx  int
+			canonSeen int
+			orbit     int64
+		}
+		classes := make(map[string]*classInfo)
+		var memberIdx int
+		cz := NewCanonicalizer()
+		EachDagOnNodes(n, func(d *Dag) bool {
+			dagCanon := cz.AnalyzeDag(d)
+			eachLabeling(n, palette, func(labels []int32) {
+				md, ml, _ := MinimalForm(d, labels)
+				key := classKey(md, ml)
+				info := classes[key]
+				if info == nil {
+					info = &classInfo{firstIdx: memberIdx, canonIdx: -1}
+					classes[key] = info
+				}
+				info.size++
+				if dagCanon {
+					if orbit, ok := cz.LabelOrbit(labels); ok {
+						info.canonSeen++
+						info.canonIdx = memberIdx
+						info.orbit = orbit
+						// The canonical member must be MinimalForm's own
+						// fixed point.
+						if classKey(d, labels) != key {
+							t.Fatalf("n=%d member %d: flagged canonical but MinimalForm maps it elsewhere", n, memberIdx)
+						}
+					}
+				}
+				memberIdx++
+			})
+			return true
+		})
+		total := int64(0)
+		for key, info := range classes {
+			if info.canonSeen != 1 {
+				t.Fatalf("n=%d class %s: %d canonical members, want 1", n, key, info.canonSeen)
+			}
+			if info.canonIdx != info.firstIdx {
+				t.Fatalf("n=%d class %s: canonical member at index %d, enumeration-first at %d", n, key, info.canonIdx, info.firstIdx)
+			}
+			if info.orbit != info.size {
+				t.Fatalf("n=%d class %s: orbit %d, class size %d", n, key, info.orbit, info.size)
+			}
+			total += info.size
+		}
+		want := int64(1)
+		for i := 0; i < n*(n-1)/2; i++ {
+			want *= 2
+		}
+		for i := 0; i < n; i++ {
+			want *= palette
+		}
+		if total != want {
+			t.Fatalf("n=%d: orbits cover %d members, universe has %d", n, total, want)
+		}
+	}
+}
+
+func TestCanonicalizerLinext(t *testing.T) {
+	cz := NewCanonicalizer()
+	// Empty dag on 4 nodes: 4! linear extensions.
+	if !cz.AnalyzeDag(New(4)) {
+		t.Fatal("empty dag must be canonical")
+	}
+	if got := cz.Linext(); got != 24 {
+		t.Fatalf("linext(empty 4) = %d, want 24", got)
+	}
+	// Chain 0->1->2->3: a single extension, trivially canonical.
+	chain := New(4)
+	chain.MustAddEdge(0, 1)
+	chain.MustAddEdge(1, 2)
+	chain.MustAddEdge(2, 3)
+	if !cz.AnalyzeDag(chain) {
+		t.Fatal("chain must be canonical")
+	}
+	if got := cz.Linext(); got != 1 {
+		t.Fatalf("linext(chain 4) = %d, want 1", got)
+	}
+	if !cz.trivial {
+		t.Fatal("chain has only the identity relabeling")
+	}
+	// Fork 0->1, 0->2: extensions 012 and 021 -> 2.
+	fork := New(3)
+	fork.MustAddEdge(0, 1)
+	fork.MustAddEdge(0, 2)
+	if !cz.AnalyzeDag(fork) {
+		t.Fatal("fork must be canonical")
+	}
+	if got := cz.Linext(); got != 2 {
+		t.Fatalf("linext(fork) = %d, want 2", got)
+	}
+	if got := cz.NumPerms(); got != 2 {
+		t.Fatalf("fork has %d mask-preserving relabelings, want 2 (identity + swap 1,2)", got)
+	}
+	// Labels breaking the 1<->2 symmetry: the class has two members on
+	// this mask and only the lexicographically smaller is canonical.
+	if orbit, ok := cz.LabelOrbit([]int32{0, 1, 2}); !ok || orbit != 2 {
+		t.Fatalf("fork labels [0 1 2]: orbit %d ok %v, want 2 true", orbit, ok)
+	}
+	if _, ok := cz.LabelOrbit([]int32{0, 2, 1}); ok {
+		t.Fatal("fork labels [0 2 1] must be non-canonical")
+	}
+	// Symmetric labels: orbit 1 via a labeled automorphism.
+	if orbit, ok := cz.LabelOrbit([]int32{0, 1, 1}); !ok || orbit != 1 {
+		t.Fatalf("fork labels [0 1 1]: orbit %d ok %v, want 1 true", orbit, ok)
+	}
+	// Empty dag on 2 nodes with distinct labels: orbit 2.
+	if !cz.AnalyzeDag(New(2)) {
+		t.Fatal("empty dag must be canonical")
+	}
+	if orbit, ok := cz.LabelOrbit([]int32{0, 1}); !ok || orbit != 2 {
+		t.Fatalf("empty-2 labels [0 1]: orbit %d ok %v, want 2 true", orbit, ok)
+	}
+	if _, ok := cz.LabelOrbit([]int32{1, 0}); ok {
+		t.Fatal("empty-2 labels [1 0] must be non-canonical")
+	}
+}
+
+// scramble applies a random topological-order-free relabeling to an
+// ordered dag, producing an isomorphic but arbitrarily numbered dag.
+func scramble(d *Dag, labels []int32, rng *rand.Rand) (*Dag, []int32) {
+	n := d.NumNodes()
+	perm := rng.Perm(n)
+	out := New(n)
+	outLabels := make([]int32, n)
+	for u := 0; u < n; u++ {
+		outLabels[perm[u]] = labels[u]
+		for _, v := range d.Succs(Node(u)) {
+			out.MustAddEdge(Node(perm[u]), Node(perm[v]))
+		}
+	}
+	return out, outLabels
+}
+
+// TestMinimalFormInvariance: MinimalForm is constant on isomorphism
+// classes and idempotent.
+func TestMinimalFormInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(6) + 1
+		d := New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 1 {
+					d.MustAddEdge(Node(u), Node(v))
+				}
+			}
+		}
+		labels := make([]int32, n)
+		for i := range labels {
+			labels[i] = int32(rng.Intn(3))
+		}
+		md, ml, _ := MinimalForm(d, labels)
+		if err := md.Validate(); err != nil {
+			t.Fatalf("trial %d: minimal form not acyclic: %v", trial, err)
+		}
+		if orderedMask(md) > orderedMask(d) {
+			t.Fatalf("trial %d: minimal form mask %d exceeds input mask %d", trial, orderedMask(md), orderedMask(d))
+		}
+		sd, sl := scramble(d, labels, rng)
+		md2, ml2, _ := MinimalForm(sd, sl)
+		if classKey(md, ml) != classKey(md2, ml2) {
+			t.Fatalf("trial %d: MinimalForm not isomorphism-invariant:\n d=%v labels=%v -> %v %v\n scrambled -> %v %v",
+				trial, d, labels, md, ml, md2, ml2)
+		}
+		md3, ml3, _ := MinimalForm(md, ml)
+		if classKey(md, ml) != classKey(md3, ml3) {
+			t.Fatalf("trial %d: MinimalForm not idempotent", trial)
+		}
+	}
+}
+
+// FuzzMinimalForm is the canonical-labeling fuzz target: the canonical
+// form must be isomorphic to its input (checked via invariance under a
+// derived scramble) and idempotent, and the Canonicalizer must agree
+// with MinimalForm about which members are canonical.
+func FuzzMinimalForm(f *testing.F) {
+	f.Add(uint16(0), uint32(0), uint32(0))
+	f.Add(uint16(3), uint32(0b101), uint32(9))
+	f.Add(uint16(4), uint32(0b110101), uint32(1234))
+	f.Add(uint16(5), uint32(0x3ff), uint32(98765))
+	f.Fuzz(func(t *testing.T, rawN uint16, mask uint32, rawLabels uint32) {
+		n := int(rawN % 6)
+		d := New(n)
+		slot := 0
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if mask&(1<<uint(slot)) != 0 {
+					d.MustAddEdge(Node(u), Node(v))
+				}
+				slot++
+			}
+		}
+		labels := make([]int32, n)
+		lv := rawLabels
+		for i := range labels {
+			labels[i] = int32(lv % 3)
+			lv /= 3
+		}
+		md, ml, _ := MinimalForm(d, labels)
+		if err := md.Validate(); err != nil {
+			t.Fatalf("minimal form not acyclic: %v", err)
+		}
+		// Idempotent.
+		md2, ml2, _ := MinimalForm(md, ml)
+		if classKey(md, ml) != classKey(md2, ml2) {
+			t.Fatalf("not idempotent: %v %v -> %v %v", md, ml, md2, ml2)
+		}
+		// Isomorphic to the input: scramble with a deterministic perm
+		// derived from the inputs and re-canonicalize.
+		rng := rand.New(rand.NewSource(int64(mask)*31 + int64(rawLabels)))
+		sd, sl := scramble(d, labels, rng)
+		md3, ml3, _ := MinimalForm(sd, sl)
+		if classKey(md, ml) != classKey(md3, ml3) {
+			t.Fatalf("not isomorphism-invariant: %v %v vs %v %v", md, ml, md3, ml3)
+		}
+		// Canonicalizer agreement on the ordered input.
+		cz := NewCanonicalizer()
+		isCanon := false
+		if cz.AnalyzeDag(d) {
+			_, isCanon = cz.LabelOrbit(labels)
+		}
+		wantCanon := classKey(d, labels) == classKey(md, ml)
+		if isCanon != wantCanon {
+			t.Fatalf("canonicalizer says canonical=%v, MinimalForm says %v for %v %v", isCanon, wantCanon, d, labels)
+		}
+	})
+}

@@ -48,7 +48,7 @@ func EachPairCtx(ctx context.Context, maxNodes, numLocs int, fn func(c *computat
 func CompareCtx(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs int) (Relation, error) {
 	var r Relation
 	_, err := EachPairCtx(ctx, maxNodes, numLocs, func(c *computation.Computation, o *observer.Observer) bool {
-		compareInto(&r, a, b, c, o)
+		compareInto(&r, a, b, c, o, 1, pairRank{})
 		return true
 	})
 	return r, err
@@ -95,7 +95,8 @@ func compareParallel(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs
 			r := &results[shard]
 			tick, published := 0, 0
 			for n := 0; n <= maxNodes; n++ {
-				eachComputationShard(n, numLocs, shard, workers, func(c *computation.Computation) bool {
+				eachComputationShardIdx(n, numLocs, shard, workers, func(c *computation.Computation, dagIdx, labelIdx uint64) bool {
+					rank := pairRank{set: true, n: int32(n), dag: dagIdx, label: labelIdx}
 					observer.Enumerate(c, func(o *observer.Observer) bool {
 						tick++
 						if tick&ctxPollMask == 0 {
@@ -110,7 +111,7 @@ func compareParallel(ctx context.Context, a, b memmodel.Model, maxNodes, numLocs
 						if cancelled.Load() {
 							return false
 						}
-						compareInto(r, a, b, c, o)
+						compareInto(r, a, b, c, o, 1, rank)
 						return true
 					})
 					return !cancelled.Load()
@@ -154,23 +155,28 @@ func relationOutcome(r Relation, err error) string {
 }
 
 // compareInto classifies one pair against both models, accumulating
-// into r — the shared body of Compare, CompareCtx, and the parallel
-// variants.
-func compareInto(r *Relation, a, b memmodel.Model, c *computation.Computation, o *observer.Observer) {
+// into r with the pair's class weight (1 for unreduced sweeps, the
+// orbit size for reduced ones) — the shared body of Compare,
+// CompareCtx, and the parallel and reduced variants. rank tags a
+// newly-recorded witness with its global enumeration position for the
+// shard merge; serial sweeps may pass the zero rank.
+func compareInto(r *Relation, a, b memmodel.Model, c *computation.Computation, o *observer.Observer, weight int, rank pairRank) {
 	inA := a.Contains(c, o)
 	inB := b.Contains(c, o)
 	switch {
 	case inA && inB:
-		r.Both++
+		r.Both += weight
 	case inA:
-		r.AOnly++
+		r.AOnly += weight
 		if r.WitnessAOnly == nil {
 			r.WitnessAOnly = &memmodel.Pair{C: c, O: o.Clone()}
+			r.rankAOnly = rank
 		}
 	case inB:
-		r.BOnly++
+		r.BOnly += weight
 		if r.WitnessBOnly == nil {
 			r.WitnessBOnly = &memmodel.Pair{C: c, O: o.Clone()}
+			r.rankBOnly = rank
 		}
 	}
 }

@@ -134,6 +134,9 @@ type Relation struct {
 	Both         int            // pairs in both
 	WitnessAOnly *memmodel.Pair // example in A \ B, if any
 	WitnessBOnly *memmodel.Pair // example in B \ A, if any
+	// Witness enumeration ranks, used by the parallel merges to keep
+	// the globally-first witness independent of the worker count.
+	rankAOnly, rankBOnly pairRank
 }
 
 // Equal reports A = B over the universe.
@@ -150,22 +153,7 @@ func (r Relation) Incomparable() bool { return r.AOnly > 0 && r.BOnly > 0 }
 func Compare(a, b memmodel.Model, maxNodes, numLocs int) Relation {
 	var r Relation
 	EachPair(maxNodes, numLocs, func(c *computation.Computation, o *observer.Observer) bool {
-		inA := a.Contains(c, o)
-		inB := b.Contains(c, o)
-		switch {
-		case inA && inB:
-			r.Both++
-		case inA:
-			r.AOnly++
-			if r.WitnessAOnly == nil {
-				r.WitnessAOnly = &memmodel.Pair{C: c, O: o.Clone()}
-			}
-		case inB:
-			r.BOnly++
-			if r.WitnessBOnly == nil {
-				r.WitnessBOnly = &memmodel.Pair{C: c, O: o.Clone()}
-			}
-		}
+		compareInto(&r, a, b, c, o, 1, pairRank{})
 		return true
 	})
 	return r

@@ -15,73 +15,111 @@ import (
 // nodes is indexed by an edge bitmask, so it shards trivially:
 // worker w handles the masks congruent to w modulo the worker count.
 // Each worker owns private accumulators; workers write their result
-// into a shard-indexed slice and the merge walks that slice in shard
-// order. (An earlier version merged from a channel in completion
-// order, which made the reported witness depend on goroutine timing:
-// the counts were stable but WitnessAOnly/WitnessBOnly flapped between
-// runs. Shard-order merging makes the whole Relation — witnesses
-// included — a pure function of (universe, worker count).)
+// into a shard-indexed slice and the merge folds that slice by global
+// enumeration rank. (An earlier version merged from a channel in
+// completion order, which made the reported witness depend on
+// goroutine timing; a later one kept the lowest-shard witness, which
+// was deterministic but still worker-count-dependent. Rank merging
+// makes the whole Relation — witnesses included — a pure function of
+// the universe, equal to the serial sweep's for any worker count.)
+
+// pairRank is a pair's position in the global enumeration order:
+// computation size, then dag mask index, then labeling index. Within
+// one computation every shard scans observers in the same order, so
+// computation granularity suffices to order shard-first witnesses.
+type pairRank struct {
+	set   bool
+	n     int32
+	dag   uint64
+	label uint64
+}
+
+// less orders set ranks by enumeration position; an unset rank never
+// wins.
+func (a pairRank) less(b pairRank) bool {
+	if a.set != b.set {
+		return a.set
+	}
+	if a.n != b.n {
+		return a.n < b.n
+	}
+	if a.dag != b.dag {
+		return a.dag < b.dag
+	}
+	return a.label < b.label
+}
 
 // eachComputationShard enumerates the computations of exactly n nodes
 // whose dag mask is ≡ shard (mod shards).
 func eachComputationShard(n, numLocs, shard, shards int, fn func(c *computation.Computation) bool) {
+	eachComputationShardIdx(n, numLocs, shard, shards, func(c *computation.Computation, _, _ uint64) bool {
+		return fn(c)
+	})
+}
+
+// eachComputationShardIdx is eachComputationShard passing each
+// computation's (dag mask, labeling) enumeration indices for witness
+// ranking.
+func eachComputationShardIdx(n, numLocs, shard, shards int, fn func(c *computation.Computation, dagIdx, labelIdx uint64) bool) {
 	ops := computation.AllOps(numLocs)
-	idx := 0
+	var dagIdx uint64
 	dag.EachDagOnNodes(n, func(g *dag.Dag) bool {
-		mine := idx%shards == shard
-		idx++
-		if !mine {
+		idx := dagIdx
+		dagIdx++
+		if idx%uint64(shards) != uint64(shard) {
 			return true
 		}
 		labels := make([]computation.Op, n)
 		stopped := false
-		var rec func(i int) bool
-		rec = func(i int) bool {
+		var rec func(i int, labelIdx uint64) bool
+		rec = func(i int, labelIdx uint64) bool {
 			if i == n {
 				c := computation.MustFrom(g.Clone(), append([]computation.Op(nil), labels...), numLocs)
-				if !fn(c) {
+				if !fn(c, idx, labelIdx) {
 					stopped = true
 					return false
 				}
 				return true
 			}
-			for _, op := range ops {
+			for oi, op := range ops {
 				labels[i] = op
-				if !rec(i + 1) {
+				if !rec(i+1, labelIdx*uint64(len(ops))+uint64(oi)) {
 					return false
 				}
 			}
 			return true
 		}
-		rec(0)
+		rec(0, 0)
 		return !stopped
 	})
 }
 
-// mergeShards folds per-shard relations in shard-index order. The
-// counts commute, but the witnesses don't: keeping the first non-nil
-// witness while walking shards in index order is what pins the report
-// to the lowest shard.
+// mergeShards folds per-shard relations. The counts commute; each
+// witness is the rank-minimal one across shards, which — since every
+// shard keeps its own enumeration-first witness — is exactly the
+// witness the serial sweep reports.
 func mergeShards(results []Relation) Relation {
 	var merged Relation
-	for _, r := range results {
+	for i := range results {
+		r := &results[i]
 		merged.AOnly += r.AOnly
 		merged.BOnly += r.BOnly
 		merged.Both += r.Both
-		if merged.WitnessAOnly == nil {
+		if r.WitnessAOnly != nil && (merged.WitnessAOnly == nil || r.rankAOnly.less(merged.rankAOnly)) {
 			merged.WitnessAOnly = r.WitnessAOnly
+			merged.rankAOnly = r.rankAOnly
 		}
-		if merged.WitnessBOnly == nil {
+		if r.WitnessBOnly != nil && (merged.WitnessBOnly == nil || r.rankBOnly.less(merged.rankBOnly)) {
 			merged.WitnessBOnly = r.WitnessBOnly
+			merged.rankBOnly = r.rankBOnly
 		}
 	}
 	return merged
 }
 
 // CompareParallel is Compare distributed over `workers` goroutines
-// (defaults to GOMAXPROCS when workers <= 0). The result is identical
-// to Compare up to which witness pair is reported (the lowest-shard
-// witness wins, deterministically for a fixed worker count).
+// (defaults to GOMAXPROCS when workers <= 0). The result — witnesses
+// included — is identical to Compare for every worker count.
 func CompareParallel(a, b memmodel.Model, maxNodes, numLocs, workers int) Relation {
 	r, _ := compareParallel(context.Background(), a, b, maxNodes, numLocs, workers, nil)
 	return r

@@ -156,6 +156,73 @@ func RunLatticeObs(maxNodes, numLocs, workers int, rec obs.Recorder) LatticeRepo
 	return rep
 }
 
+// sclcAuxMaxNodes caps the auxiliary two-location universe behind the
+// SC/LC edge in reduced lattice runs. The edge's strictness already
+// manifests at 2 nodes (its MinNodes), the auxiliary universe grows
+// ~40× per added node, and SC needs engine searches whenever L ≥ 2 —
+// so past this size the auxiliary sweep would dwarf the main one while
+// adding no information. The cap only binds above the largest size the
+// unreduced path ever ran, so reduced and unreduced reports stay
+// identical wherever both exist.
+const sclcAuxMaxNodes = 4
+
+// RunLatticeReduced is RunLatticeObs on the symmetry-reduced universe:
+// one fused sweep classifies every canonical representative pair into
+// its 6-model membership pattern (memmodel.PatternDecider) and every
+// Figure 1 edge's relation is derived from the orbit-weighted pattern
+// census. Counts and witnesses equal RunLatticeObs's exactly, with one
+// carve-out: when maxNodes exceeds sclcAuxMaxNodes the SC/LC edge's
+// auxiliary two-location universe is capped there (see the constant).
+func RunLatticeReduced(maxNodes, numLocs, workers int, rec obs.Recorder) LatticeReport {
+	names := memmodel.ModelNames()
+	bit := func(name string) int {
+		for i, n := range names {
+			if n == name {
+				return i
+			}
+		}
+		panic("expt: unknown model " + name)
+	}
+	edges := Figure1Edges()
+	pes := make([]enum.PatternEdge, len(edges))
+	for i, e := range edges {
+		pes[i] = enum.PatternEdge{A: bit(e.A), B: bit(e.B)}
+	}
+	obs.Emit(rec, obs.Event{Kind: obs.PhaseStart, Str: "pattern sweep"})
+	main, _ := enum.PatternSweepParallel(context.Background(), pes, maxNodes, numLocs, workers,
+		obs.WithRun(rec, "lattice-reduced"))
+	rep := LatticeReport{MaxNodes: maxNodes, NumLocs: numLocs, Pairs: int(main.Pairs)}
+	for i, e := range edges {
+		r := main.Edges[i]
+		if e.A == "SC" && e.B == "LC" && numLocs < 2 {
+			// The SC/LC edge is only strict with ≥2 locations (the paper's
+			// remark); rerun just that edge on the auxiliary universe.
+			aux := maxNodes
+			if aux > sclcAuxMaxNodes {
+				aux = sclcAuxMaxNodes
+			}
+			label := e.A + " vs " + e.B
+			obs.Emit(rec, obs.Event{Kind: obs.PhaseStart, Str: label})
+			side, _ := enum.PatternSweepParallel(context.Background(),
+				[]enum.PatternEdge{{A: bit(e.A), B: bit(e.B)}}, aux, 2, workers,
+				obs.WithRun(rec, label))
+			r = side.Edges[0]
+		}
+		got := classify(r)
+		ok := got == e.Want
+		if maxNodes < e.MinNodes {
+			switch e.Want {
+			case "⊊":
+				ok = r.AOnly == 0
+			case "incomparable":
+				ok = true
+			}
+		}
+		rep.Edges = append(rep.Edges, EdgeResult{Edge: e, Relation: r, Got: got, OK: ok})
+	}
+	return rep
+}
+
 // AllOK reports whether every edge matched Figure 1.
 func (r LatticeReport) AllOK() bool {
 	for _, e := range r.Edges {
@@ -330,6 +397,52 @@ func RunProperties(m memmodel.Model, maxNodes, numLocs int) PropertyReport {
 	return rep
 }
 
+// RunPropertiesReduced is RunProperties on the symmetry-reduced
+// universe: every checked property is isomorphism-invariant, so
+// checking canonical representatives and scaling the counts by orbit
+// yields the identical report — including FirstFailure, since the
+// enumeration-first failing computation is necessarily canonical (its
+// representative fails too and precedes it).
+func RunPropertiesReduced(m memmodel.Model, maxNodes, numLocs int) PropertyReport {
+	rep := PropertyReport{
+		Model: m.Name(), MaxNodes: maxNodes, NumLocs: numLocs,
+		Complete: true, Monotonic: true, ConstructibleAug: true,
+	}
+	ops := computation.AllOps(numLocs)
+	enum.EachComputationReducedUpTo(maxNodes, numLocs, func(c *computation.Computation, orbit int64) bool {
+		rep.Computations += int(orbit)
+		if rep.Complete && !memmodel.HasObserver(m, c) {
+			rep.Complete = false
+			if rep.FirstFailure == "" {
+				rep.FirstFailure = fmt.Sprintf("incomplete at %v", c)
+			}
+		}
+		observer.Enumerate(c, func(o *observer.Observer) bool {
+			if !m.Contains(c, o) {
+				return true
+			}
+			rep.Pairs += int(orbit)
+			if rep.Monotonic && !memmodel.MonotonicAt(m, c, o) {
+				rep.Monotonic = false
+				if rep.FirstFailure == "" {
+					rep.FirstFailure = fmt.Sprintf("non-monotonic at %v / %v", c, o)
+				}
+			}
+			if rep.ConstructibleAug {
+				if op, ok := memmodel.ConstructibleAtAug(m, c, o.Clone(), ops); !ok {
+					rep.ConstructibleAug = false
+					if rep.FirstFailure == "" {
+						rep.FirstFailure = fmt.Sprintf("aug by %s fails at %v / %v", op, c, o)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return rep
+}
+
 // OK reports whether every checked property held over the universe.
 // Like StarReport.OK, this is the CLI exit-status hook.
 func (r PropertyReport) OK() bool { return r.Complete && r.Monotonic && r.ConstructibleAug }
@@ -397,6 +510,43 @@ func MembershipCensus(maxNodes, numLocs int) string {
 func MembershipCensusParallel(maxNodes, numLocs, workers int) string {
 	models := Models()
 	counts, total := enum.CensusParallel(models, maxNodes, numLocs, workers)
+	return censusTable(models, counts, total, maxNodes, numLocs)
+}
+
+// MembershipCensusReducedParallel is MembershipCensusParallel deciding
+// only canonical representatives and weighting each by its orbit size;
+// the rendered table is identical to the unreduced one.
+func MembershipCensusReducedParallel(maxNodes, numLocs, workers int) string {
+	models := Models()
+	counts, total := enum.CensusReducedParallel(models, maxNodes, numLocs, workers)
+	return censusTable(models, counts, total, maxNodes, numLocs)
+}
+
+// MembershipCensusReducedObs is the reduced census as an observable,
+// cancellable sweep: one fused pattern pass over canonical
+// representatives (the per-model counts fall out of the orbit-weighted
+// pattern census), reporting progress and symmetry gauges to rec under
+// the run label "census". The table equals the unreduced one; err is
+// ctx's error when the sweep was cut short (the partial table must
+// then be discarded).
+func MembershipCensusReducedObs(ctx context.Context, maxNodes, numLocs, workers int, rec obs.Recorder) (string, error) {
+	models := memmodel.PatternModels()
+	sweep, err := enum.PatternSweepParallel(ctx, nil, maxNodes, numLocs, workers, obs.WithRun(rec, "census"))
+	if err != nil {
+		return "", err
+	}
+	counts := make([]int, len(models))
+	for p, n := range sweep.Counts {
+		for i := range models {
+			if p&(1<<uint(i)) != 0 {
+				counts[i] += int(n)
+			}
+		}
+	}
+	return censusTable(models, counts, int(sweep.Pairs), maxNodes, numLocs), nil
+}
+
+func censusTable(models []memmodel.Model, counts []int, total, maxNodes, numLocs int) string {
 	type row struct {
 		name  string
 		count int

@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func witnessString(p *memmodel.Pair) string {
+	if p == nil {
+		return "<none>"
+	}
+	return p.C.String() + " / " + p.O.String()
+}
+
+// TestRunLatticeReducedMatchesUnreduced: at every size both paths run,
+// the reduced lattice must reproduce the unreduced report exactly —
+// per-edge counts, verdicts, and byte-identical witnesses.
+func TestRunLatticeReducedMatchesUnreduced(t *testing.T) {
+	sizes := []struct{ n, locs int }{{2, 1}, {3, 1}, {3, 2}}
+	if !testing.Short() {
+		sizes = append(sizes, struct{ n, locs int }{4, 1})
+	}
+	for _, sz := range sizes {
+		full := RunLatticeParallel(sz.n, sz.locs, 2)
+		red := RunLatticeReduced(sz.n, sz.locs, 3, nil)
+		if red.Pairs != full.Pairs {
+			t.Fatalf("n=%d locs=%d: reduced pair total %d != %d", sz.n, sz.locs, red.Pairs, full.Pairs)
+		}
+		if len(red.Edges) != len(full.Edges) {
+			t.Fatalf("n=%d locs=%d: edge count %d != %d", sz.n, sz.locs, len(red.Edges), len(full.Edges))
+		}
+		for i, fe := range full.Edges {
+			re := red.Edges[i]
+			if re.Got != fe.Got || re.OK != fe.OK {
+				t.Fatalf("n=%d locs=%d edge %s/%s: reduced verdict %q ok=%v, unreduced %q ok=%v",
+					sz.n, sz.locs, fe.Edge.A, fe.Edge.B, re.Got, re.OK, fe.Got, fe.OK)
+			}
+			if re.Relation.AOnly != fe.Relation.AOnly || re.Relation.BOnly != fe.Relation.BOnly ||
+				re.Relation.Both != fe.Relation.Both {
+				t.Fatalf("n=%d locs=%d edge %s/%s: reduced counts (%d,%d,%d) != unreduced (%d,%d,%d)",
+					sz.n, sz.locs, fe.Edge.A, fe.Edge.B,
+					re.Relation.AOnly, re.Relation.BOnly, re.Relation.Both,
+					fe.Relation.AOnly, fe.Relation.BOnly, fe.Relation.Both)
+			}
+			if witnessString(re.Relation.WitnessAOnly) != witnessString(fe.Relation.WitnessAOnly) ||
+				witnessString(re.Relation.WitnessBOnly) != witnessString(fe.Relation.WitnessBOnly) {
+				t.Fatalf("n=%d locs=%d edge %s/%s: reduced witnesses differ\n  A: %s\n  vs %s\n  B: %s\n  vs %s",
+					sz.n, sz.locs, fe.Edge.A, fe.Edge.B,
+					witnessString(re.Relation.WitnessAOnly), witnessString(fe.Relation.WitnessAOnly),
+					witnessString(re.Relation.WitnessBOnly), witnessString(fe.Relation.WitnessBOnly))
+			}
+		}
+		if red.String() != full.String() {
+			t.Fatalf("n=%d locs=%d: rendered reports differ:\n%s\nvs\n%s", sz.n, sz.locs, red, full)
+		}
+	}
+}
+
+// TestRunPropertiesReducedMatches: the reduced property sweep must
+// reproduce the unreduced report field for field (PropertyReport is
+// comparable).
+func TestRunPropertiesReducedMatches(t *testing.T) {
+	models := []memmodel.Model{memmodel.SC, memmodel.LC, memmodel.NN}
+	n := 3
+	if !testing.Short() {
+		// NN's augmentation failure first appears at size 4; include it so
+		// FirstFailure equality is exercised on a failing report too.
+		n = 4
+	}
+	for _, m := range models {
+		full := RunProperties(m, n, 1)
+		red := RunPropertiesReduced(m, n, 1)
+		if full != red {
+			t.Fatalf("%s: reduced property report differs:\n%+v\nvs\n%+v", m.Name(), red, full)
+		}
+	}
+}

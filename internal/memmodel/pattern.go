@@ -1,0 +1,351 @@
+package memmodel
+
+import (
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// This file implements the pooled single-pass membership decider the
+// symmetry-reduced lattice sweep runs per pair: one 6-bit pattern
+// holding membership of (c, o) in every Figure-1 model at once,
+// computed without the per-pair allocations (candidate slices, write
+// index maps, witness sorts, engine problems) the individual Contains
+// calls pay. On the exhaustive sweeps this replaces 14 independent
+// model decisions per pair (7 lattice edges × 2) with one fused scan.
+//
+// Two structural facts keep it exact rather than heuristic:
+//
+//   - SC ⊆ LC holds by definition, not by theorem: an SC witness sort
+//     restricted to any one location witnesses that location's LC
+//     serialization. A pair out of LC is therefore out of SC with no
+//     search. (The converse inclusion is what the experiments check;
+//     nothing here assumes it.)
+//
+//   - With a single location the SC and LC membership questions are
+//     literally the same quantifier ("one sort realizing Φ at every
+//     location" = "one sort realizing Φ at the only location"), so
+//     L=1 sweeps — the big ones — never touch the exponential engine.
+//     With L ≥ 2 and the pair in LC, SC falls back to the engine.
+//
+// The decider assumes o is a valid observer for c (observer.Enumerate
+// yields only valid observers; Validate costs more than the rest of
+// the scan combined). The differential tests pin the pattern bits to
+// the six Contains implementations over the full n ≤ 4 universe.
+
+// Pattern bits, in ModelNames() order.
+const (
+	PatternSC uint8 = 1 << iota
+	PatternLC
+	PatternNN
+	PatternNW
+	PatternWN
+	PatternWW
+	// PatternAll is the pattern of a pair in every Figure-1 model.
+	PatternAll = PatternSC | PatternLC | PatternNN | PatternNW | PatternWN | PatternWW
+)
+
+// PatternModels lists the Figure-1 models in pattern bit order,
+// aligned with ModelNames.
+func PatternModels() []Model { return []Model{SC, LC, NN, NW, WN, WW} }
+
+// PatternDecider computes Figure-1 membership patterns for the
+// observers of one computation at a time. Reset once per computation,
+// then Pattern once per observer; buffers are reused across both. Not
+// safe for concurrent use.
+type PatternDecider struct {
+	c       *computation.Computation
+	cl      *dag.Closure
+	n       int
+	numLocs int
+	writers [][]dag.Node // per location, cached from c.Writers
+	// SC engine options for the L ≥ 2 fallback.
+	opts SearchOptions
+
+	// Location-consistency scratch, sized on Reset.
+	widx  []int32   // node -> dense writer index at the current location
+	adj   [][]int32 // write-order constraint digraph
+	color []int8
+}
+
+// NewPatternDecider returns a decider with default engine options for
+// the L ≥ 2 SC fallback.
+func NewPatternDecider() *PatternDecider { return &PatternDecider{} }
+
+// NewPatternDeciderOpts sets the engine options used when an SC search
+// is unavoidable (L ≥ 2 pairs inside LC).
+func NewPatternDeciderOpts(opts SearchOptions) *PatternDecider {
+	return &PatternDecider{opts: opts}
+}
+
+// Reset points the decider at a computation.
+func (pd *PatternDecider) Reset(c *computation.Computation) {
+	pd.c = c
+	pd.cl = c.Closure()
+	pd.n = c.NumNodes()
+	pd.numLocs = c.NumLocs()
+	if cap(pd.writers) < pd.numLocs {
+		pd.writers = make([][]dag.Node, pd.numLocs)
+	}
+	pd.writers = pd.writers[:pd.numLocs]
+	maxW := 0
+	for l := 0; l < pd.numLocs; l++ {
+		pd.writers[l] = c.Writers(computation.Loc(l))
+		if len(pd.writers[l]) > maxW {
+			maxW = len(pd.writers[l])
+		}
+	}
+	if cap(pd.widx) < pd.n {
+		pd.widx = make([]int32, pd.n)
+	}
+	pd.widx = pd.widx[:pd.n]
+	if cap(pd.adj) < maxW {
+		pd.adj = append(pd.adj[:cap(pd.adj)], make([][]int32, maxW-cap(pd.adj))...)
+	}
+	pd.adj = pd.adj[:maxW]
+	if cap(pd.color) < maxW {
+		pd.color = make([]int8, maxW)
+	}
+	pd.color = pd.color[:maxW]
+}
+
+// Pattern returns the membership pattern of (c, o) for a valid
+// observer o of the Reset computation.
+func (pd *PatternDecider) Pattern(o *observer.Observer) uint8 {
+	pattern := pd.qdagBits(o)
+	if pd.lcOK(o) {
+		pattern |= PatternLC
+		if pd.numLocs <= 1 {
+			pattern |= PatternSC // one location: SC and LC coincide
+		} else if searchLastWriterOpts(pd.c, o, allLocs(pd.c), pd.opts).Found {
+			pattern |= PatternSC
+		}
+	}
+	return pattern
+}
+
+// qdagBits evaluates all four Q-dag consistency predicates in one scan
+// over the violation triples u ≺ v ≺ w, Φ(l,u) = Φ(l,w) ≠ Φ(l,v):
+// every such triple violates NN; it violates NW/WN/WW exactly when the
+// corresponding side conditions (v resp. u writes l) hold. The scan
+// stops once all four are violated.
+func (pd *PatternDecider) qdagBits(o *observer.Observer) uint8 {
+	const qAll = PatternNN | PatternNW | PatternWN | PatternWW
+	var viol uint8
+	for l := computation.Loc(0); int(l) < pd.numLocs; l++ {
+		for vi := 0; vi < pd.n && viol != qAll; vi++ {
+			v := dag.Node(vi)
+			phiV := o.Get(l, v)
+			vWrites := pd.c.Op(v).IsWriteTo(l)
+			// A triple at this v can only add these bits:
+			vAdds := PatternNN | PatternWN
+			if vWrites {
+				vAdds |= PatternNW | PatternWW
+			}
+			if vAdds&^viol == 0 {
+				continue
+			}
+			// u = ⊥ first, then the strict ancestors of v. A ⊥ triple
+			// can settle NN/NW but never WN/WW, so the ancestors still
+			// run when a writer u could add bits.
+			pd.scanW(o, l, observer.Bottom, v, phiV, false, &viol)
+			if vAdds&^viol == 0 {
+				continue
+			}
+			anc := pd.cl.Ancestors(v)
+			anc.ForEach(func(ui int) bool {
+				u := dag.Node(ui)
+				uWrites := pd.c.Op(u).IsWriteTo(l)
+				// This u can only add NN (+NW if vWrites) unless it
+				// writes; skip once those are settled.
+				uAdds := PatternNN
+				if vWrites {
+					uAdds |= PatternNW
+				}
+				if uWrites {
+					uAdds |= PatternWN
+					if vWrites {
+						uAdds |= PatternWW
+					}
+				}
+				if uAdds&^viol == 0 {
+					return true
+				}
+				pd.scanW(o, l, u, v, phiV, uWrites, &viol)
+				return viol != qAll
+			})
+		}
+	}
+	return qAll &^ viol
+}
+
+// scanW looks for a descendant w of v with Φ(l,w) = Φ(l,u) ≠ Φ(l,v)
+// and accumulates the violated predicates. Reports whether the (u, v)
+// pair is settled (a violating w was found).
+func (pd *PatternDecider) scanW(o *observer.Observer, l computation.Loc, u, v dag.Node, phiV dag.Node, uWrites bool, viol *uint8) bool {
+	phiU := o.Get(l, u)
+	if phiU == phiV {
+		return false
+	}
+	found := false
+	pd.cl.Descendants(v).ForEach(func(wi int) bool {
+		if o.Get(l, dag.Node(wi)) != phiU {
+			return true
+		}
+		found = true
+		return false
+	})
+	if !found {
+		return false
+	}
+	*viol |= PatternNN
+	vWrites := pd.c.Op(v).IsWriteTo(l)
+	if vWrites {
+		*viol |= PatternNW
+	}
+	if uWrites {
+		*viol |= PatternWN
+		if vWrites {
+			*viol |= PatternWW
+		}
+	}
+	return true
+}
+
+// lcOK is the feasibility core of the LC decider: for every location,
+// the observer's pins admit a serialization. It mirrors SerializeLoc's
+// reduction — direct contradictions, then acyclicity of the forced
+// write-order digraph — without materializing the witness sort or any
+// per-call maps.
+func (pd *PatternDecider) lcOK(o *observer.Observer) bool {
+	for l := computation.Loc(0); int(l) < pd.numLocs; l++ {
+		if !pd.lcLocOK(o, l) {
+			return false
+		}
+	}
+	return true
+}
+
+func (pd *PatternDecider) lcLocOK(o *observer.Observer, l computation.Loc) bool {
+	writers := pd.writers[l]
+	k := len(writers)
+	for i := range pd.widx {
+		pd.widx[i] = -1
+	}
+	for i, w := range writers {
+		pd.widx[w] = int32(i)
+	}
+	// Direct contradictions. Every node is pinned (writes to l to
+	// themselves, everything else to Φ(l,u)), so a node observing ⊥
+	// fails the moment any ancestor observes a write — in particular
+	// when a writer precedes it — and a node may not observe a write it
+	// precedes ("the future").
+	for ui := 0; ui < pd.n; ui++ {
+		u := dag.Node(ui)
+		if pd.c.Op(u).IsWriteTo(l) {
+			continue
+		}
+		want := o.Get(l, u)
+		if want == observer.Bottom {
+			bad := false
+			pd.cl.Ancestors(u).ForEach(func(ai int) bool {
+				if o.Get(l, dag.Node(ai)) != observer.Bottom {
+					bad = true
+					return false
+				}
+				return true
+			})
+			if bad {
+				return false
+			}
+			continue
+		}
+		if pd.cl.Precedes(u, want) {
+			return false
+		}
+	}
+	if k <= 1 {
+		return true // at most one write: no order left to constrain
+	}
+	// Forced write-order digraph over the writers (see SerializeLoc's
+	// derivation): closure order among writers; for a node pinned to
+	// wi, writers preceding the node land before wi and writers
+	// following it land after; dag order between pinned nodes orders
+	// their pins.
+	adj := pd.adj[:k]
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
+	addEdge := func(a, b int32) {
+		if a != b {
+			adj[a] = append(adj[a], b)
+		}
+	}
+	for i, w := range writers {
+		for j, x := range writers {
+			if i != j && pd.cl.Precedes(w, x) {
+				addEdge(int32(i), int32(j))
+			}
+		}
+	}
+	for ui := 0; ui < pd.n; ui++ {
+		u := dag.Node(ui)
+		if pd.c.Op(u).IsWriteTo(l) {
+			continue
+		}
+		want := o.Get(l, u)
+		if want == observer.Bottom {
+			continue
+		}
+		wi := pd.widx[want]
+		for j, x := range writers {
+			if int32(j) == wi {
+				continue
+			}
+			if pd.cl.Precedes(x, u) {
+				addEdge(int32(j), wi)
+			}
+			if pd.cl.Precedes(u, x) {
+				addEdge(wi, int32(j))
+			}
+		}
+		// u ≺ v with v pinned to a write: wi at-or-before Φ(l,v).
+		pd.cl.Descendants(u).ForEach(func(vi int) bool {
+			v := dag.Node(vi)
+			if pd.c.Op(v).IsWriteTo(l) {
+				return true // covered by the writer loops above
+			}
+			if wv := o.Get(l, v); wv != observer.Bottom {
+				addEdge(wi, pd.widx[wv])
+			}
+			return true
+		})
+	}
+	// Cycle check: white/gray/black DFS.
+	color := pd.color[:k]
+	for i := range color {
+		color[i] = 0
+	}
+	var dfs func(v int32) bool
+	dfs = func(v int32) bool {
+		color[v] = 1
+		for _, w := range adj[v] {
+			switch color[w] {
+			case 0:
+				if !dfs(w) {
+					return false
+				}
+			case 1:
+				return false
+			}
+		}
+		color[v] = 2
+		return true
+	}
+	for i := int32(0); int(i) < k; i++ {
+		if color[i] == 0 && !dfs(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -112,6 +112,11 @@ type Counters struct {
 	// Done counts completed work units: roots (engine), shards (sweeps),
 	// plans (exploration).
 	Done atomic.Int64
+	// Slept counts engine children skipped by sleep-set pruning.
+	Slept atomic.Int64
+	// Skipped counts universe computations a reduced sweep covered by
+	// orbit weighting instead of materializing them.
+	Skipped atomic.Int64
 }
 
 // Stats is the final counter block attached to RunEnd and WorkerDone
@@ -124,8 +129,15 @@ type Stats struct {
 	Memoized    int64
 	MemoBytes   int64
 	MemoSpilled int64
-	Roots       int
-	Workers     int
+	// SleepSetPruned counts engine children skipped by sleep-set
+	// pruning; SymmetrySkipped counts computations a reduced sweep
+	// skipped as non-canonical; Orbits is the total class weight a
+	// reduced sweep credited to its representatives.
+	SleepSetPruned  int64
+	SymmetrySkipped int64
+	Orbits          int64
+	Roots           int
+	Workers         int
 }
 
 // Event is one observation. Which fields are meaningful depends on

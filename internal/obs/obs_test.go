@@ -106,6 +106,8 @@ func TestProgressLine(t *testing.T) {
 	live.States.Store(12_345_000)
 	live.MemoBytes.Store(3 << 20)
 	live.Done.Store(2)
+	live.Slept.Store(42_000)
+	live.Skipped.Store(1_234_567)
 	p.Record(Event{Kind: RunStart, Run: "SC", Live: live, Total: 8, N: 50_000_000, Time: time.Now()})
 
 	deadline := time.Now().Add(2 * time.Second)
@@ -127,7 +129,7 @@ func TestProgressLine(t *testing.T) {
 	mu.Lock()
 	out := buf.String()
 	mu.Unlock()
-	for _, want := range []string{"SC:", "states", "memo 3.0 MiB", "done 2/8", "budget"} {
+	for _, want := range []string{"SC:", "states", "memo 3.0 MiB", "slept 42k", "sym-skip 1235k", "done 2/8", "budget"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("progress output missing %q in %q", want, out)
 		}
@@ -155,7 +157,8 @@ func TestReportCollector(t *testing.T) {
 	c.Record(Event{Kind: PlanDone, Str: "OK", Time: base})
 	c.Record(Event{
 		Kind: RunEnd, Run: "SC", Str: "INCONCLUSIVE(budget)", Time: base.Add(250 * time.Millisecond),
-		Stats: &Stats{States: 1000, MemoHits: 10, Pruned: 5, Memoized: 900, MemoBytes: 4096, Roots: 3, Workers: 2},
+		Stats: &Stats{States: 1000, MemoHits: 10, Pruned: 5, Memoized: 900, MemoBytes: 4096,
+			SleepSetPruned: 77, SymmetrySkipped: 88, Orbits: 99, Roots: 3, Workers: 2},
 	})
 
 	rep := c.Finish(3)
@@ -168,6 +171,9 @@ func TestReportCollector(t *testing.T) {
 	rr := rep.Runs[0]
 	if rr.Name != "SC" || rr.Outcome != "INCONCLUSIVE(budget)" || rr.States != 1000 || rr.Workers != 2 {
 		t.Fatalf("run report: %+v", rr)
+	}
+	if rr.SleepSetPruned != 77 || rr.SymmetrySkipped != 88 || rr.Orbits != 99 {
+		t.Fatalf("symmetry gauges lost: %+v", rr)
 	}
 	if rr.WallMS < 249 || rr.WallMS > 260 {
 		t.Errorf("run wall time %v", rr.WallMS)

@@ -126,6 +126,12 @@ func (r *progressRun) line(now time.Time) string {
 	if mb := r.live.MemoBytes.Load(); mb > 0 {
 		s += fmt.Sprintf(", memo %.1f MiB", float64(mb)/(1<<20))
 	}
+	if slept := r.live.Slept.Load(); slept > 0 {
+		s += fmt.Sprintf(", slept %s", count(slept))
+	}
+	if skipped := r.live.Skipped.Load(); skipped > 0 {
+		s += fmt.Sprintf(", sym-skip %s", count(skipped))
+	}
 	if r.total > 0 {
 		s += fmt.Sprintf(", done %d/%d", r.live.Done.Load(), r.total)
 	}

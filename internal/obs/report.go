@@ -46,8 +46,15 @@ type RunReport struct {
 	Memoized    int64 `json:"memoized"`
 	MemoBytes   int64 `json:"memo_bytes"`
 	MemoSpilled int64 `json:"memo_spilled"`
-	Roots       int   `json:"roots"`
-	Workers     int   `json:"workers"`
+	// Symmetry/sleep gauges: children skipped by sleep-set pruning,
+	// computations covered by orbit weighting instead of being
+	// materialized, and the total class weight credited to
+	// representatives (zero for producers without reduction).
+	SleepSetPruned  int64 `json:"sleep_set_pruned"`
+	SymmetrySkipped int64 `json:"symmetry_skipped"`
+	Orbits          int64 `json:"orbits"`
+	Roots           int   `json:"roots"`
+	Workers         int   `json:"workers"`
 }
 
 // EventCounts aggregates the discrete events of a session.
@@ -100,6 +107,9 @@ func (c *ReportCollector) Record(ev Event) {
 			rr.Memoized = ev.Stats.Memoized
 			rr.MemoBytes = ev.Stats.MemoBytes
 			rr.MemoSpilled = ev.Stats.MemoSpilled
+			rr.SleepSetPruned = ev.Stats.SleepSetPruned
+			rr.SymmetrySkipped = ev.Stats.SymmetrySkipped
+			rr.Orbits = ev.Stats.Orbits
 			rr.Roots = ev.Stats.Roots
 			rr.Workers = ev.Stats.Workers
 		}

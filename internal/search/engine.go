@@ -117,12 +117,18 @@ type engine struct {
 	grant  int64
 	tick   uint32
 	stats  Stats
+	// sleep is a depth-indexed slab of placed-set-width rows: row d is
+	// the sleep set in force at depth d (bit u set = placing u from here
+	// is known redundant). A parent writes row d+1 before descending.
+	sleep   []uint64
+	noSleep bool
 	// Observability bookkeeping, all dead weight unless sh.rec is set:
 	// worker id for events, the already-published slices of the private
 	// counters, and whether this worker's memo freeze was reported.
 	worker    int
 	pubStates int64
 	pubMemo   int64
+	pubSlept  int64
 	frozeSeen bool
 }
 
@@ -137,6 +143,7 @@ func newEngine(p *problem, sh *shared, memoCap int64) *engine {
 		memo:   newStateSetCapped(p.keyWords, memoCap),
 		keyBuf: make([]uint64, p.keyWords),
 		myRoot: math.MaxInt64,
+		sleep:  make([]uint64, (p.n+1)*p.placedWords),
 	}
 	e.reset()
 	return e
@@ -151,6 +158,9 @@ func (e *engine) reset() {
 	}
 	copy(e.indeg, e.p.indeg0)
 	e.order = e.order[:0]
+	for i := range e.sleep {
+		e.sleep[i] = 0
+	}
 }
 
 // takeState charges one state against the shared budget, batching
@@ -200,6 +210,10 @@ func (e *engine) publishLive() {
 	live := e.sh.live
 	live.States.Add(e.stats.States - e.pubStates)
 	e.pubStates = e.stats.States
+	if slept := e.stats.SleepSetPruned; slept != e.pubSlept {
+		live.Slept.Add(slept - e.pubSlept)
+		e.pubSlept = slept
+	}
 	if mb := e.memo.bytes(); mb != e.pubMemo {
 		live.MemoBytes.Add(mb - e.pubMemo)
 		e.pubMemo = mb
@@ -227,14 +241,15 @@ func (e *engine) flushObs() {
 // obsStats converts the engine's counter block to the event form.
 func obsStats(s Stats) *obs.Stats {
 	return &obs.Stats{
-		States:      s.States,
-		MemoHits:    s.MemoHits,
-		Pruned:      s.Pruned,
-		Memoized:    s.Memoized,
-		MemoBytes:   s.MemoBytes,
-		MemoSpilled: s.MemoSpilled,
-		Roots:       s.Roots,
-		Workers:     s.Workers,
+		States:         s.States,
+		MemoHits:       s.MemoHits,
+		Pruned:         s.Pruned,
+		Memoized:       s.Memoized,
+		MemoBytes:      s.MemoBytes,
+		MemoSpilled:    s.MemoSpilled,
+		SleepSetPruned: s.SleepSetPruned,
+		Roots:          s.Roots,
+		Workers:        s.Workers,
 	}
 }
 
@@ -359,13 +374,30 @@ func (e *engine) rec(remaining int) int8 {
 		}
 		return stFail
 	}
+	pw := e.p.placedWords
+	depth := e.p.n - remaining
+	cur := e.sleep[depth*pw : (depth+1)*pw]
+	child := e.sleep[(depth+1)*pw : (depth+2)*pw]
 	for u := 0; u < e.p.n; u++ {
 		if e.indeg[u] != 0 || e.placed.Contains(u) {
+			continue
+		}
+		if !e.noSleep && cur[u>>6]&(1<<(uint(u)&63)) != 0 {
+			// Asleep: this subtree is witness-free (see the package
+			// comment's soundness argument).
+			e.stats.SleepSetPruned++
 			continue
 		}
 		node := dag.Node(u)
 		if !e.admissible(node) {
 			continue
+		}
+		if !e.noSleep {
+			// The child wakes every placement that conflicts with u.
+			crow := e.p.conflict[u*pw : (u+1)*pw]
+			for i, w := range cur {
+				child[i] = w &^ crow[i]
+			}
 		}
 		prev := e.place(node)
 		st := e.rec(remaining - 1)
@@ -375,6 +407,11 @@ func (e *engine) rec(remaining int) int8 {
 		e.unplace(node, prev)
 		if st == stAbort {
 			return stAbort
+		}
+		// u's subtree is exhausted and empty: later siblings may skip
+		// placing u while their placements commute with it.
+		if !e.noSleep {
+			cur[u>>6] |= 1 << (uint(u) & 63)
 		}
 	}
 	// keyBuf was overwritten by the children; re-encode before storing.
@@ -480,6 +517,7 @@ func trivialResult(rec obs.Recorder, res Result) Result {
 
 func runSerial(p *problem, sh *shared, opts Options, numRoots int) Result {
 	e := newEngine(p, sh, opts.MaxMemoBytes)
+	e.noSleep = opts.DisableSleep
 	st := e.rec(p.n)
 	e.flushObs()
 	e.stats.Roots = numRoots
@@ -526,6 +564,7 @@ func runParallel(p *problem, sh *shared, opts Options, roots []dag.Node, workers
 		go func(w int) {
 			defer wg.Done()
 			e := newEngine(p, sh, memoCap)
+			e.noSleep = opts.DisableSleep
 			e.worker = w
 			engines[w] = e
 			defer e.flushObs()

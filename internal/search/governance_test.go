@@ -293,7 +293,7 @@ func TestMemoCapDifferential(t *testing.T) {
 		memoCap int64
 	}{
 		{"unsat", 16, false, 25 << 10},
-		{"sat", 27, true, 64 << 10},
+		{"sat", 27, true, 32 << 10},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			tr := govTrace(tc.seed, 14, 6, 0.10, 2, 2, 3)

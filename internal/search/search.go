@@ -27,6 +27,25 @@
 //     starts (a candidate the node precedes, or with another writer
 //     forced strictly between it and the node, can never be observed).
 //
+//   - Sleep-set pruning (the partial-order reduction of Godefroid's
+//     sleep sets, adapted to constrained topological sorts): two
+//     placements commute when the closure orders neither before the
+//     other, they write different slots, and neither writes a slot the
+//     other's placement constraints read. After a child u's subtree is
+//     exhausted without a witness, u is put to sleep for the later
+//     siblings: a sibling v that commutes with u need not re-explore
+//     placing u first thing, because state·v·u = state·u·v and the
+//     latter lies inside u's already-failed subtree. Sleep sets thus
+//     skip only subtrees proven witness-free, which keeps Found and
+//     the witness Order bit-identical to the unpruned search — and
+//     keeps failed-state memoization sound: an stFail concluded under
+//     a non-empty sleep set still means "no witness from this state",
+//     because every claim it rests on (explored siblings, memo
+//     entries, inherited sleeps) was established earlier and is a
+//     property of the state alone. (This is where the classic
+//     "sleep sets break state caching" trap does not apply: the memo
+//     stores refuted states, not visited ones.)
+//
 //   - Parallel root splitting: the admissible first-choice frontier
 //     fans out over Workers goroutines with per-worker memo tables, an
 //     atomic lowest-successful-root register for early cancellation,
@@ -66,6 +85,10 @@ type Options struct {
 	// stored, new inserts are dropped — so the answer never changes,
 	// only the state count. Stats.MemoSpilled reports the drops.
 	MaxMemoBytes int64
+	// DisableSleep turns off sleep-set pruning (see the package comment).
+	// The answer is identical either way; the flag exists for
+	// differential tests and for measuring the pruning's effect.
+	DisableSleep bool
 	// Recorder receives run-level observability events: run start/end,
 	// root claimed/skipped/finished, governor fired, memo freeze, and a
 	// per-worker counter flush at exit. nil (the default) disables all
@@ -85,8 +108,12 @@ type Stats struct {
 	Memoized    int64 // distinct failed states recorded
 	MemoBytes   int64 // memo-table backing memory (summed over workers)
 	MemoSpilled int64 // memo inserts dropped by the MaxMemoBytes cap
-	Roots       int   // admissible first-choice branches
-	Workers     int   // workers actually used
+	// SleepSetPruned counts children skipped because they were asleep:
+	// their subtrees were proven witness-free by an earlier sibling
+	// exploration of a commuting placement.
+	SleepSetPruned int64
+	Roots          int // admissible first-choice branches
+	Workers        int // workers actually used
 }
 
 // Add accumulates t into s.
@@ -97,6 +124,7 @@ func (s *Stats) Add(t Stats) {
 	s.Memoized += t.Memoized
 	s.MemoBytes += t.MemoBytes
 	s.MemoSpilled += t.MemoSpilled
+	s.SleepSetPruned += t.SleepSetPruned
 }
 
 // Result is the outcome of a Run.
@@ -169,6 +197,14 @@ type problem struct {
 	// or -1 when u is unconstrained at the slot.
 	predW    []uint64
 	predWOff []int32
+	// conflict is the placement dependence relation as an n×n bit
+	// matrix (rows of placedWords words): conflict[u*placedWords..][v]
+	// is set when placing u and v does not commute — they are ordered
+	// by the closure, write the same slot, or one writes a slot the
+	// other's placement-time constraints read. Sleep-set pruning skips
+	// a child only while every placement since the child's subtree was
+	// proven empty is independent of it.
+	conflict []uint64
 
 	placedWords int
 	keyWords    int
@@ -293,6 +329,51 @@ func compile(spec Spec) *problem {
 			}
 		}
 		p.consNodes[s] = nodeBacking[start:len(nodeBacking):len(nodeBacking)]
+	}
+	// Pass 3: the placement dependence relation for sleep-set pruning,
+	// built word-parallel (a per-cell Comparable loop costs more than
+	// small unsat searches save). A node x touches slot s when placing
+	// it reads or writes s: it writes s, or it carries a dynamic
+	// constraint on s (own-slot write constraints were compiled away
+	// and depend on no state). conflict(u,v) holds when u==v, the
+	// closure orders them, or one writes a slot the other touches.
+	pw := p.placedWords
+	slab := make([]uint64, (n+2*spec.NumSlots)*pw)
+	p.conflict = slab[:n*pw]
+	slotMasks := slab[n*pw:]
+	touch := slotMasks[:spec.NumSlots*pw]   // touch[s*pw..]: nodes touching slot s
+	writers := slotMasks[spec.NumSlots*pw:] // writers[s*pw..]: nodes writing slot s
+	for x := 0; x < n; x++ {
+		bit := uint64(1) << (uint(x) & 63)
+		for s := 0; s < spec.NumSlots; s++ {
+			if p.writeSlot[x] == int32(s) || p.predWOff[s*n+x] >= 0 {
+				touch[s*pw+x>>6] |= bit
+			}
+		}
+		if ws := int(p.writeSlot[x]); ws >= 0 {
+			writers[ws*pw+x>>6] |= bit
+		}
+	}
+	for u := 0; u < n; u++ {
+		row := p.conflict[u*pw : (u+1)*pw]
+		aw := cl.Ancestors(dag.Node(u)).Words()
+		dw := cl.Descendants(dag.Node(u)).Words()
+		for i := range row {
+			row[i] = aw[i] | dw[i]
+		}
+		row[u>>6] |= 1 << (uint(u) & 63)
+		if ws := int(p.writeSlot[u]); ws >= 0 {
+			for i := range row {
+				row[i] |= touch[ws*pw+i]
+			}
+		}
+		for s := 0; s < spec.NumSlots; s++ {
+			if p.writeSlot[u] == int32(s) || p.predWOff[s*n+u] >= 0 {
+				for i := range row {
+					row[i] |= writers[s*pw+i]
+				}
+			}
+		}
 	}
 	return p
 }

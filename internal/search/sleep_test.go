@@ -1,0 +1,64 @@
+package search_test
+
+import (
+	"testing"
+
+	"repro/internal/search"
+)
+
+// TestSleepSetDifferential: sleep-set pruning must not change any part
+// of the answer — Found, Exhausted, and the witness Order byte for
+// byte — on a corpus of random trace instances, serial and parallel,
+// while actually pruning work somewhere in the corpus.
+func TestSleepSetDifferential(t *testing.T) {
+	var pruned, saved int64
+	sat, unsat := 0, 0
+	for seed := int64(0); seed < 40; seed++ {
+		tr := govTrace(seed, 10, 5, 0.12, 2, 2, 3)
+		spec := traceSpec(tr)
+		base := search.Run(spec, search.Options{Workers: 1, DisableSleep: true})
+		if base.Stats.SleepSetPruned != 0 {
+			t.Fatalf("seed %d: DisableSleep run reported %d sleep prunes", seed, base.Stats.SleepSetPruned)
+		}
+		if base.Found {
+			sat++
+		} else {
+			unsat++
+		}
+		for _, workers := range []int{1, 4} {
+			slept := search.Run(spec, search.Options{Workers: workers})
+			if slept.Found != base.Found || slept.Exhausted != base.Exhausted {
+				t.Fatalf("seed %d workers=%d: sleep sets changed the verdict: %+v vs %+v",
+					seed, workers, slept, base)
+			}
+			if slept.Found {
+				if len(slept.Order) != len(base.Order) {
+					t.Fatalf("seed %d workers=%d: witness length %d vs %d",
+						seed, workers, len(slept.Order), len(base.Order))
+				}
+				for i := range base.Order {
+					if slept.Order[i] != base.Order[i] {
+						t.Fatalf("seed %d workers=%d: sleep sets changed the witness at %d: %v vs %v",
+							seed, workers, i, slept.Order, base.Order)
+					}
+				}
+				checkWitness(t, tr, slept.Order)
+			}
+			if workers == 1 {
+				if slept.Stats.States > base.Stats.States {
+					t.Fatalf("seed %d: sleep sets expanded more states (%d) than without (%d)",
+						seed, slept.Stats.States, base.Stats.States)
+				}
+				pruned += slept.Stats.SleepSetPruned
+				saved += base.Stats.States - slept.Stats.States
+			}
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("corpus not mixed: %d sat, %d unsat — adjust the generator", sat, unsat)
+	}
+	if pruned == 0 {
+		t.Fatal("sleep sets never pruned anything across the corpus")
+	}
+	t.Logf("corpus: %d sat / %d unsat, %d children slept, %d serial states saved", sat, unsat, pruned, saved)
+}

@@ -101,12 +101,64 @@ func (m *endpointMetrics) stats() EndpointStats {
 	}
 }
 
+// EngineTotals is the cumulative decision-core counter block in
+// /statsz: every engine search and enumeration sweep the server ran
+// folds its final run stats in here. SleepSetPruned counts children
+// the engine's sleep sets skipped; SymmetrySkipped counts universe
+// computations the reduced census covered by orbit weighting instead
+// of materializing; Orbits is the total class weight those sweeps
+// credited to their representatives.
+type EngineTotals struct {
+	Runs            int64 `json:"runs"`
+	States          int64 `json:"states"`
+	MemoHits        int64 `json:"memo_hits"`
+	Pruned          int64 `json:"pruned"`
+	SleepSetPruned  int64 `json:"sleep_set_pruned"`
+	SymmetrySkipped int64 `json:"symmetry_skipped"`
+	Orbits          int64 `json:"orbits"`
+}
+
+// engineTotals is the recorder behind EngineTotals; it folds RunEnd
+// stats (the merged per-run totals) and ignores every other event.
+type engineTotals struct {
+	runs, states, memoHits, pruned          atomic.Int64
+	sleepSetPruned, symmetrySkipped, orbits atomic.Int64
+}
+
+func (t *engineTotals) Record(ev obs.Event) {
+	if ev.Kind != obs.RunEnd {
+		return
+	}
+	t.runs.Add(1)
+	if st := ev.Stats; st != nil {
+		t.states.Add(st.States)
+		t.memoHits.Add(st.MemoHits)
+		t.pruned.Add(st.Pruned)
+		t.sleepSetPruned.Add(st.SleepSetPruned)
+		t.symmetrySkipped.Add(st.SymmetrySkipped)
+		t.orbits.Add(st.Orbits)
+	}
+}
+
+func (t *engineTotals) stats() EngineTotals {
+	return EngineTotals{
+		Runs:            t.runs.Load(),
+		States:          t.states.Load(),
+		MemoHits:        t.memoHits.Load(),
+		Pruned:          t.pruned.Load(),
+		SleepSetPruned:  t.sleepSetPruned.Load(),
+		SymmetrySkipped: t.symmetrySkipped.Load(),
+		Orbits:          t.orbits.Load(),
+	}
+}
+
 // Statsz is the /statsz document.
 type Statsz struct {
 	UptimeMS  int64                    `json:"uptime_ms"`
 	Draining  bool                     `json:"draining"`
 	Admission AdmissionStats           `json:"admission"`
 	Cache     CacheStats               `json:"cache"`
+	Engine    EngineTotals             `json:"engine"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -121,6 +173,7 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	metrics    map[string]*endpointMetrics
+	totals     engineTotals
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -148,6 +201,10 @@ func New(cfg Config) *Server {
 		},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// Every decision records through the totals recorder so /statsz
+	// exposes cumulative engine counters even without a -trace/-report
+	// session attached.
+	s.cfg.Recorder = obs.Multi(cfg.Recorder, &s.totals)
 	s.mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	s.mux.HandleFunc("POST /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
@@ -445,9 +502,17 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 			return nil, false, err
 		}
 		defer release()
-		// The census sweep has no mid-flight governor; MaxEnumNodes is
-		// the admission-time bound that keeps it tractable.
-		census := expt.MembershipCensusParallel(n, locs, workers)
+		// MaxEnumNodes is the admission-time bound that keeps the sweep
+		// tractable; the decision context cancels it mid-flight on drain
+		// or timeout. The reduced sweep decides one representative per
+		// isomorphism class (identical table, far fewer decisions) and
+		// feeds the /statsz symmetry gauges.
+		ctx, cancel := s.decisionContext(s.cfg.Limits.DefaultTimeout)
+		defer cancel()
+		census, err := expt.MembershipCensusReducedObs(ctx, n, locs, workers, s.cfg.Recorder)
+		if err != nil {
+			return nil, false, err
+		}
 		body, err := json.Marshal(EnumerateResponse{MaxNodes: n, Locs: locs, Census: census})
 		return append(body, '\n'), err == nil, err
 	})
@@ -490,6 +555,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Draining:  adm.Draining,
 		Admission: adm,
 		Cache:     s.cache.stats(),
+		Engine:    s.totals.stats(),
 		Endpoints: make(map[string]EndpointStats, len(s.metrics)),
 	}
 	for name, m := range s.metrics {

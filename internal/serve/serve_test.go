@@ -499,3 +499,32 @@ func TestGracefulDrain(t *testing.T) {
 	ts.Close()
 	waitGoroutines(t, base)
 }
+
+// TestStatszEngineTotals: decisions accumulate into the cumulative
+// /statsz engine block — an enumerate sweep feeds the symmetry gauges
+// (orbit totals, skipped computations) and every run bumps the count.
+func TestStatszEngineTotals(t *testing.T) {
+	_, ts := testServer(t, Config{Limits: Limits{MaxEnumNodes: 3}})
+	if st := statsz(t, ts.URL); st.Engine.Runs != 0 {
+		t.Fatalf("fresh server has %d engine runs, want 0", st.Engine.Runs)
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/enumerate", EnumerateRequest{MaxNodes: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("enumerate status %d: %s", resp.StatusCode, data)
+	}
+	st := statsz(t, ts.URL)
+	if st.Engine.Runs == 0 {
+		t.Error("engine.runs still 0 after an enumerate sweep")
+	}
+	// ≤3 nodes, 1 location: 238 computations, of which only the
+	// canonical representatives were materialized.
+	if st.Engine.Orbits != 238 {
+		t.Errorf("engine.orbits = %d, want 238 universe computations", st.Engine.Orbits)
+	}
+	if st.Engine.SymmetrySkipped <= 0 || st.Engine.SymmetrySkipped >= st.Engine.Orbits {
+		t.Errorf("engine.symmetry_skipped = %d, want in (0, %d)", st.Engine.SymmetrySkipped, st.Engine.Orbits)
+	}
+	if st.Engine.States <= 0 {
+		t.Errorf("engine.states = %d, want > 0", st.Engine.States)
+	}
+}

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Compare benchmarks/latest.txt against benchmarks/baseline.txt and
 # fail if any benchmark's ns/op regressed by more than
-# BENCH_MAX_REGRESSION_PCT percent (default 5).
+# BENCH_MAX_REGRESSION_PCT percent (default 5) or its allocs/op by
+# more than BENCH_MAX_ALLOC_REGRESSION_PCT percent (default: same as
+# the ns/op threshold). A machine-readable summary of the comparison
+# is written to benchmarks/BENCH_search.json (every latest benchmark,
+# base/latest/delta per metric, and the regression list).
 #
 # Self-contained (awk only): no benchstat dependency. Compare runs on
 # the same goos/goarch/CPU as the baseline to avoid false regressions.
@@ -10,7 +14,9 @@ cd "$(dirname "$0")/.."
 
 BASELINE="benchmarks/baseline.txt"
 LATEST="benchmarks/latest.txt"
+JSON_OUT="${BENCH_JSON_OUT:-benchmarks/BENCH_search.json}"
 THRESHOLD="${BENCH_MAX_REGRESSION_PCT:-5}"
+ALLOC_THRESHOLD="${BENCH_MAX_ALLOC_REGRESSION_PCT:-$THRESHOLD}"
 
 if [ ! -f "$BASELINE" ] || ! grep -q '^Benchmark' "$BASELINE"; then
   echo "baseline missing or empty; skipping compare"
@@ -21,30 +27,85 @@ if [ ! -f "$LATEST" ]; then
   exit 1
 fi
 
-awk -v thr="$THRESHOLD" '
+# Cross-CPU deltas are meaningless; on different hardware the compare
+# is advisory only (printed, JSON emitted, but never failing). Set
+# BENCH_COMPARE_FORCE=1 to gate anyway.
+base_cpu=$(grep -m1 '^cpu:' "$BASELINE" || true)
+latest_cpu=$(grep -m1 '^cpu:' "$LATEST" || true)
+ADVISORY=0
+if [ "${BENCH_COMPARE_FORCE:-0}" != "1" ] && [ "$base_cpu" != "$latest_cpu" ]; then
+  echo "note: baseline CPU (${base_cpu#cpu: }) != latest CPU (${latest_cpu#cpu: }); compare is advisory"
+  ADVISORY=1
+fi
+
+awk -v thr="$THRESHOLD" -v athr="$ALLOC_THRESHOLD" -v json="$JSON_OUT" -v advisory="$ADVISORY" '
   # Benchmark output lines look like:
   #   BenchmarkName/sub-8   20   12345 ns/op   678 B/op   9 allocs/op
-  # Record the value preceding each "ns/op" field, keyed by name.
+  # Record the value preceding each unit field, keyed by name.
   /^Benchmark/ {
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op") {
-        if (FILENAME == ARGV[1]) base[$1] = $(i - 1)
-        else latest[$1] = $(i - 1)
-        break
+        if (FILENAME == ARGV[1]) base_ns[$1] = $(i - 1)
+        else latest_ns[$1] = $(i - 1)
+      } else if ($i == "allocs/op") {
+        if (FILENAME == ARGV[1]) base_al[$1] = $(i - 1)
+        else latest_al[$1] = $(i - 1)
       }
+    }
+    # Remember latest-file encounter order for stable JSON output.
+    if (FILENAME != ARGV[1] && !($1 in seen)) {
+      seen[$1] = 1
+      order[++n] = $1
     }
   }
+
+  # metric emits one JSON object for a metric pair and returns its
+  # delta via the global `delta` (-1e9 when no baseline exists).
+  function metric(b, l, has_base) {
+    if (has_base && b + 0 != 0) {
+      delta = (l - b) / b * 100
+      return sprintf("{\"base\": %s, \"latest\": %s, \"delta_pct\": %.2f}", b, l, delta)
+    }
+    delta = -1e9
+    return sprintf("{\"base\": null, \"latest\": %s, \"delta_pct\": null}", l)
+  }
+
   END {
     fail = 0
-    for (name in latest) {
-      if (!(name in base) || base[name] + 0 == 0) continue
-      delta = (latest[name] - base[name]) / base[name] * 100
-      printf("%-60s %12.0f -> %12.0f ns/op  %+7.1f%%\n", name, base[name], latest[name], delta)
-      if (delta > thr) {
-        printf("REGRESSION > %s%%: %s\n", thr, name) > "/dev/stderr"
-        fail = 1
+    printf("{\n  \"thresholds_pct\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", thr, athr) > json
+    printf("  \"benchmarks\": [") > json
+    nreg = 0
+    for (k = 1; k <= n; k++) {
+      name = order[k]
+      ns = metric(base_ns[name], latest_ns[name], name in base_ns)
+      dns = delta
+      al = metric(base_al[name], latest_al[name], name in base_al)
+      dal = delta
+      printf("%s\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", \
+             k > 1 ? "," : "", name, ns, al) > json
+
+      if (name in base_ns && base_ns[name] + 0 != 0) {
+        printf("%-60s %12.0f -> %12.0f ns/op      %+7.1f%%\n", name, base_ns[name], latest_ns[name], dns)
+        if (dns > thr) {
+          printf("REGRESSION ns/op > %s%%: %s\n", thr, name) > "/dev/stderr"
+          regs[++nreg] = name " ns/op"
+          fail = 1
+        }
+      }
+      if (name in base_al && base_al[name] + 0 != 0) {
+        printf("%-60s %12.0f -> %12.0f allocs/op  %+7.1f%%\n", name, base_al[name], latest_al[name], dal)
+        if (dal > athr) {
+          printf("REGRESSION allocs/op > %s%%: %s\n", athr, name) > "/dev/stderr"
+          regs[++nreg] = name " allocs/op"
+          fail = 1
+        }
       }
     }
+    printf("\n  ],\n  \"regressions\": [") > json
+    for (k = 1; k <= nreg; k++)
+      printf("%s\"%s\"", k > 1 ? ", " : "", regs[k]) > json
+    printf("],\n  \"ok\": %s\n}\n", fail ? "false" : "true") > json
+    if (advisory + 0) exit 0
     exit fail
   }
 ' "$BASELINE" "$LATEST"

@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
-# Run the search-engine benchmark suite and record the results in
+# Run the benchmark suites and record the results in
 # benchmarks/latest.txt for regression tracking.
 #
-# BENCH_PATTERN selects benchmarks (default: the BenchmarkSearch*
-# engine-vs-seed suite); BENCH_TIME sets -benchtime (default: a fixed
-# iteration count so runs are quick and comparable).
+# Two suites run: the search-engine micro-suite (BenchmarkSearch* in
+# internal/search) at a fixed iteration count so runs are quick and
+# comparable, and the lattice-sweep suite (BenchmarkLatticeSweep in
+# internal/expt), whose single iteration is a multi-second exhaustive
+# sweep and therefore gets a small iteration count of its own.
+#
+# BENCH_PATTERN / BENCH_TIME override the engine suite's selection and
+# -benchtime; BENCH_SWEEP_PATTERN / BENCH_SWEEP_TIME do the same for
+# the sweep suite. BENCH_SWEEP_TIME=0 skips the sweep suite entirely
+# (it costs several CPU-seconds per iteration).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATTERN="${BENCH_PATTERN:-BenchmarkSearch}"
 TIME="${BENCH_TIME:-50x}"
+SWEEP_PATTERN="${BENCH_SWEEP_PATTERN:-BenchmarkLatticeSweep}"
+SWEEP_TIME="${BENCH_SWEEP_TIME:-2x}"
 
 mkdir -p benchmarks
-go test ./internal/search -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" | tee benchmarks/latest.txt
+{
+  go test ./internal/search -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME"
+  if [ "$SWEEP_TIME" != "0" ]; then
+    go test ./internal/expt -run '^$' -bench "$SWEEP_PATTERN" -benchmem -benchtime "$SWEEP_TIME"
+  fi
+} | tee benchmarks/latest.txt
