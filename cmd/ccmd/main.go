@@ -21,6 +21,14 @@
 // in-flight decisions before exiting — past -drain-timeout they are
 // cancelled through the engine and reported INCONCLUSIVE(cancelled).
 //
+// Every exchange runs inside the middleware armor of internal/mw:
+// request IDs (X-Request-Id, generated or propagated, echoed in error
+// bodies and the -access-log), panic recovery (a panicking decision is
+// a 500 and a panics_recovered tick on /statsz, never a crash), an
+// exchange deadline clamped onto the governance limits, and transport
+// read/write/idle timeouts against stalled clients (-read-header-timeout
+// et al.).
+//
 // Exit codes: 0 clean shutdown, 1 runtime error, 2 usage error.
 package main
 
@@ -36,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/mw"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -62,6 +71,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxWorkers := fs.Int("max-workers", 0, "ceiling on per-request engine width (0 = none)")
 	maxEnumNodes := fs.Int("max-enum-nodes", 4, "ceiling on /v1/enumerate universe bounds")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace for in-flight work on shutdown before hard cancel")
+	requestTimeout := fs.Duration("request-timeout", 0, "whole-exchange deadline per request (0 derives from the governance limits; negative disables)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "drop connections that stall before finishing their request headers (slow-loris guard; 0 disables)")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "ceiling on reading a whole request, headers and body (0 disables)")
+	writeTimeout := fs.Duration("write-timeout", 0, "ceiling on writing a response (0 disables; must exceed -max-timeout or long decisions are cut off mid-reply)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connections idle longer than this are closed (0 disables)")
+	accessLog := fs.String("access-log", "", "structured access-log destination: a file path (appended), or - for stderr (empty disables)")
+	trustedProxies := fs.String("trusted-proxies", "", "comma-separated CIDRs/IPs whose X-Forwarded-For headers are honored for client-IP logging")
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +91,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ccmd: -cache-mb, -slots, and -queue must be non-negative")
 		return 2
 	}
+	proxies, err := mw.ParseProxyList(*trustedProxies)
+	if err != nil {
+		fmt.Fprintf(stderr, "ccmd: -trusted-proxies: %v\n", err)
+		return 2
+	}
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "ccmd: -access-log: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		accessW = f
+	}
 
 	session, err := obsFlags.Start("ccmd", args, stderr)
 	if err != nil {
@@ -82,8 +117,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	code := serveLoop(ctx, serveConfig{
-		addr:         *addr,
-		drainTimeout: *drainTimeout,
+		addr:              *addr,
+		drainTimeout:      *drainTimeout,
+		readHeaderTimeout: *readHeaderTimeout,
+		readTimeout:       *readTimeout,
+		writeTimeout:      *writeTimeout,
+		idleTimeout:       *idleTimeout,
 		server: serve.Config{
 			Slots:      *slots,
 			Queue:      *queue,
@@ -96,7 +135,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				MaxWorkers:     *maxWorkers,
 				MaxEnumNodes:   *maxEnumNodes,
 			},
-			Recorder: session.Rec,
+			Recorder:       session.Rec,
+			AccessLog:      accessW,
+			TrustedProxies: proxies,
+			RequestTimeout: *requestTimeout,
 		},
 	}, stdout, stderr)
 	if err := session.Close(code); err != nil {
@@ -109,9 +151,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 type serveConfig struct {
-	addr         string
-	drainTimeout time.Duration
-	server       serve.Config
+	addr              string
+	drainTimeout      time.Duration
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	server            serve.Config
 }
 
 func serveLoop(ctx context.Context, cfg serveConfig, stdout, stderr io.Writer) int {
@@ -121,7 +167,16 @@ func serveLoop(ctx context.Context, cfg serveConfig, stdout, stderr io.Writer) i
 		return 1
 	}
 	srv := serve.New(cfg.server)
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// The transport-level armor: a server with no read deadlines holds a
+	// goroutine and a connection hostage for every client that stalls
+	// mid-headers (slow loris) or walks away mid-body.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+	}
 	fmt.Fprintf(stdout, "ccmd: serving on http://%s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)

@@ -205,3 +205,145 @@ func TestRunListenError(t *testing.T) {
 		t.Errorf("stderr does not explain the failure: %s", errb.String())
 	}
 }
+
+// TestSlowLorisDropped: a connection that sends half a request line
+// and then stalls must be cut off by -read-header-timeout instead of
+// holding a server goroutine forever — and the daemon keeps serving
+// honest clients throughout.
+func TestSlowLorisDropped(t *testing.T) {
+	var out, errb syncBuffer
+	base, cancel, done := startDaemon(t, []string{"-read-header-timeout", "250ms"}, &out, &errb)
+	defer func() { cancel(); <-done }()
+
+	conn, err := net.Dial("tcp", strings.TrimPrefix(base, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: loris\r\nX-Stall")); err != nil {
+		t.Fatal(err)
+	}
+	// Never finish the headers. The server must answer 408 and hang up
+	// within the header deadline — not after our 5s read deadline.
+	start := time.Now()
+	conn.SetReadDeadline(start.Add(5 * time.Second))
+	data, err := io.ReadAll(conn)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("connection still open 5s after stalling mid-headers")
+	}
+	if err != nil {
+		t.Fatalf("reading the hang-up: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("server took %v to drop the stalled connection", elapsed)
+	}
+	// The exact parting status varies by Go version (408 or 400); what
+	// matters is that it is an error, not a served request.
+	if len(data) > 0 && !strings.Contains(string(data), "HTTP/1.1 4") {
+		t.Errorf("parting response %q is not a client-error hang-up", data)
+	}
+
+	// The daemon is unharmed.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after loris = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDrainFlipsHealthzWhileWorkCompletes: the signal path must flip
+// /healthz to 503 "draining" immediately — so load balancers stop
+// routing — while already-admitted work runs to completion and the
+// daemon still exits 0.
+func TestDrainFlipsHealthzWhileWorkCompletes(t *testing.T) {
+	var out, errb syncBuffer
+	base, cancel, done := startDaemon(t, []string{
+		"-slots", "1", "-timeout", "10s", "-drain-timeout", "30s",
+	}, &out, &errb)
+
+	// Occupy the only decision slot with a verification that needs a
+	// couple of seconds: the pinned governance instance (seed 11) under
+	// a wall-clock budget it cannot beat.
+	tr := govTrace(11, 30, 8, 0.08, 2, 3, 3)
+	body, _ := json.Marshal(serve.VerifyRequest{
+		Trace:   renderTraceText(tr),
+		Options: serve.Options{TimeoutMS: 3000},
+	})
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/verify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+
+	// Wait until the slot is actually held, then send the "signal".
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.Statsz
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Admission.Running >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow verify never occupied the decision slot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+
+	// healthz flips to "draining" promptly, while the listener is up.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatalf("listener died before drain completed: %v", err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if !strings.Contains(string(data), "draining") {
+				t.Errorf("healthz 503 body %q, want draining", data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never flipped to 503 after the signal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The queued decision completes (INCONCLUSIVE at its own budget is
+	// fine — the exchange must finish as a 200, not be severed).
+	select {
+	case code := <-inflight:
+		if code != http.StatusOK {
+			t.Errorf("in-flight verify finished with %d, want 200", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight verify never completed during drain")
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited after drain")
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/trace"
+)
+
+// govTrace mirrors internal/serve's test helper: randomized checker
+// instances from the engine governance tests. Seed 11 is pinned as
+// undecided after minutes of work — the slow request the drain test
+// leans on.
+func govTrace(seed int64, layers, width int, p float64, locs, vals, wprob int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.RandomLayered(rng, layers, width, p)
+	n := g.NumNodes()
+	ops := make([]computation.Op, n)
+	for i := range ops {
+		l := computation.Loc(rng.Intn(locs))
+		if rng.Intn(wprob) == 0 {
+			ops[i] = computation.W(l)
+		} else {
+			ops[i] = computation.R(l)
+		}
+	}
+	c := computation.MustFrom(g, ops, locs)
+	tr := trace.New(c)
+	for u := 0; u < n; u++ {
+		switch c.Op(dag.Node(u)).Kind {
+		case computation.Write:
+			tr.WriteVal[u] = trace.Value(rng.Intn(vals) + 1)
+		case computation.Read:
+			tr.ReadVal[u] = trace.Value(rng.Intn(vals) + 1)
+		}
+	}
+	return tr
+}
+
+// renderTraceText writes tr in the verify text format.
+func renderTraceText(tr *trace.Trace) string {
+	c := tr.Comp
+	var b strings.Builder
+	b.WriteString("locs")
+	for l := 0; l < c.NumLocs(); l++ {
+		fmt.Fprintf(&b, " l%d", l)
+	}
+	b.WriteByte('\n')
+	for u := 0; u < c.NumNodes(); u++ {
+		op := c.Op(dag.Node(u))
+		switch op.Kind {
+		case computation.Write:
+			fmt.Fprintf(&b, "node n%d W(l%d) = %d\n", u, op.Loc, tr.WriteVal[u])
+		case computation.Read:
+			fmt.Fprintf(&b, "node n%d R(l%d) = %d\n", u, op.Loc, tr.ReadVal[u])
+		}
+	}
+	for u := 0; u < c.NumNodes(); u++ {
+		for _, v := range c.Dag().Succs(dag.Node(u)) {
+			fmt.Fprintf(&b, "edge n%d n%d\n", u, v)
+		}
+	}
+	return b.String()
+}

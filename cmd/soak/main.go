@@ -1,0 +1,502 @@
+// Command soak drives sustained mixed traffic at a live ccmd daemon
+// and reports the service-level trajectory: per-endpoint latency
+// percentiles, shed and error counts, cache effectiveness, and the
+// daemon's goroutine/RSS watermarks sampled before, during, and after
+// the load.
+//
+//	soak -target http://localhost:8080 -c 32 -duration 60s \
+//	     -mix check=6,verify=3,enumerate=1 -out benchmarks/BENCH_serve.json
+//
+// The request corpus is the repository's own testdata: every *.ccm
+// file becomes a /v1/check body, every *.trace file a /v1/verify body,
+// and /v1/enumerate cycles small universe bounds (the server clamps
+// them anyway).
+//
+// With threshold flags set (-max-p99, -max-error-rate,
+// -max-goroutine-growth, -max-panics) the run doubles as a release
+// gate: violations are listed in the JSON and the exit code is 1. A
+// load-shed 503 is not an error — it is the admission controller doing
+// its job — but a missing X-Request-Id anywhere is always a violation
+// in gate mode.
+//
+// Exit codes: 0 pass, 1 threshold violation, 2 usage or setup error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// endpointReport is the per-endpoint block of the output document.
+type endpointReport struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Shed     int64   `json:"shed"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	RPS      float64 `json:"rps"`
+}
+
+// watermark is one runtime sample of the target process.
+type watermark struct {
+	Goroutines int   `json:"goroutines"`
+	HeapBytes  int64 `json:"heap_alloc_bytes"`
+	RSSBytes   int64 `json:"rss_bytes"`
+}
+
+// report is the soak result document, written to -out as
+// benchmarks/BENCH_serve.json — the service-level perf trajectory.
+type report struct {
+	Target           string                    `json:"target"`
+	GeneratedUnix    int64                     `json:"generated_unix"`
+	DurationS        float64                   `json:"duration_s"`
+	Concurrency      int                       `json:"concurrency"`
+	Mix              map[string]int            `json:"mix"`
+	Endpoints        map[string]endpointReport `json:"endpoints"`
+	Totals           endpointReport            `json:"totals"`
+	MissingRequestID int64                     `json:"missing_request_id"`
+	PanicsRecovered  int64                     `json:"panics_recovered"`
+	Cache            serve.CacheStats          `json:"cache"`
+	CacheHitRatio    float64                   `json:"cache_hit_ratio"`
+	Runtime          map[string]watermark      `json:"runtime"` // pre / peak / post
+	Violations       []string                  `json:"violations"`
+	OK               bool                      `json:"ok"`
+}
+
+// endpointAgg accumulates one endpoint's samples across workers.
+type endpointAgg struct {
+	mu        sync.Mutex
+	latencyMS []float64
+	errors    int64
+	shed      int64
+	missingID int64
+}
+
+func (a *endpointAgg) record(lat time.Duration, status int, hasID bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.latencyMS = append(a.latencyMS, float64(lat)/float64(time.Millisecond))
+	switch {
+	case status == http.StatusServiceUnavailable:
+		a.shed++
+	case status < 200 || status > 299:
+		a.errors++
+	}
+	if !hasID {
+		a.missingID++
+	}
+}
+
+// percentile returns the p-th percentile of sorted samples (nearest
+// rank). Zero samples yield 0.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func (a *endpointAgg) summarize(elapsed time.Duration) endpointReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sorted := append([]float64(nil), a.latencyMS...)
+	sort.Float64s(sorted)
+	r := endpointReport{
+		Requests: int64(len(sorted)),
+		Errors:   a.errors,
+		Shed:     a.shed,
+		P50MS:    percentile(sorted, 50),
+		P95MS:    percentile(sorted, 95),
+		P99MS:    percentile(sorted, 99),
+	}
+	if n := len(sorted); n > 0 {
+		r.MaxMS = sorted[n-1]
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		r.RPS = float64(r.Requests) / s
+	}
+	return r
+}
+
+// parseMix reads "check=6,verify=3,enumerate=1" into weights.
+func parseMix(s string) (map[string]int, error) {
+	mix := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		w, err := strconv.Atoi(val)
+		if !ok || err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix entry %q (want endpoint=weight)", part)
+		}
+		switch name {
+		case "check", "verify", "enumerate":
+			mix[name] = w
+		default:
+			return nil, fmt.Errorf("unknown endpoint %q in mix", name)
+		}
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has no positive weights", s)
+	}
+	return mix, nil
+}
+
+// corpus holds the prebuilt request bodies per endpoint.
+type corpus struct {
+	bodies map[string][][]byte
+}
+
+// loadCorpus builds request bodies from the testdata directory:
+// *.ccm files feed /v1/check, *.trace files feed /v1/verify, and
+// /v1/enumerate gets a fixed cycle of small bounds.
+func loadCorpus(dir string, mix map[string]int) (*corpus, error) {
+	c := &corpus{bodies: make(map[string][][]byte)}
+	add := func(endpoint string, v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		c.bodies[endpoint] = append(c.bodies[endpoint], b)
+		return nil
+	}
+	if mix["check"] > 0 {
+		files, err := filepath.Glob(filepath.Join(dir, "*.ccm"))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			pair, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			if err := add("check", serve.CheckRequest{Pair: string(pair)}); err != nil {
+				return nil, err
+			}
+		}
+		if len(c.bodies["check"]) == 0 {
+			return nil, fmt.Errorf("mix includes check but %s has no *.ccm files", dir)
+		}
+	}
+	if mix["verify"] > 0 {
+		files, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			tr, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			if err := add("verify", serve.VerifyRequest{Trace: string(tr)}); err != nil {
+				return nil, err
+			}
+		}
+		if len(c.bodies["verify"]) == 0 {
+			return nil, fmt.Errorf("mix includes verify but %s has no *.trace files", dir)
+		}
+	}
+	if mix["enumerate"] > 0 {
+		for n := 1; n <= 3; n++ {
+			if err := add("enumerate", serve.EnumerateRequest{MaxNodes: n}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// picker selects endpoints by mix weight and bodies uniformly.
+type picker struct {
+	rng       *rand.Rand
+	endpoints []string // weight-expanded
+	c         *corpus
+}
+
+func newPicker(seed int64, mix map[string]int, c *corpus) *picker {
+	p := &picker{rng: rand.New(rand.NewSource(seed)), c: c}
+	for _, name := range []string{"check", "verify", "enumerate"} {
+		for i := 0; i < mix[name]; i++ {
+			p.endpoints = append(p.endpoints, name)
+		}
+	}
+	return p
+}
+
+func (p *picker) next() (endpoint string, body []byte) {
+	endpoint = p.endpoints[p.rng.Intn(len(p.endpoints))]
+	bodies := p.c.bodies[endpoint]
+	return endpoint, bodies[p.rng.Intn(len(bodies))]
+}
+
+// statsz fetches the target's gauge document.
+func statsz(client *http.Client, target string) (serve.Statsz, error) {
+	var st serve.Statsz
+	resp, err := client.Get(target + "/statsz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return st, fmt.Errorf("statsz: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func toWatermark(st serve.Statsz) watermark {
+	return watermark{
+		Goroutines: st.Runtime.Goroutines,
+		HeapBytes:  st.Runtime.HeapAllocBytes,
+		RSSBytes:   st.Runtime.RSSBytes,
+	}
+}
+
+// run is the testable entry point.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "", "base URL of the ccmd daemon (required)")
+	concurrency := fs.Int("c", 32, "concurrent client workers")
+	duration := fs.Duration("duration", 60*time.Second, "how long to sustain the load")
+	mixFlag := fs.String("mix", "check=6,verify=3,enumerate=1", "endpoint weights, name=weight pairs")
+	testdata := fs.String("testdata", "testdata", "directory of *.ccm and *.trace corpus files")
+	out := fs.String("out", "", "write the JSON report here (empty: stdout only)")
+	settle := fs.Duration("settle", 2*time.Second, "wait after the load stops before the post-drain watermark")
+	maxP99 := fs.Duration("max-p99", 0, "gate: fail if any endpoint's p99 exceeds this (0 disables)")
+	maxErrRate := fs.Float64("max-error-rate", -1, "gate: fail if errors/requests exceeds this fraction (negative disables; shed 503s are not errors)")
+	maxGoroutineGrowth := fs.Int("max-goroutine-growth", -1, "gate: fail if post-drain goroutines exceed pre-load by more than this (negative disables)")
+	maxPanics := fs.Int64("max-panics", -1, "gate: fail if the daemon recovered more panics than this (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *target == "" || fs.NArg() != 0 || *concurrency < 1 || *duration <= 0 {
+		fmt.Fprintln(stderr, "soak: need -target URL, -c >= 1, -duration > 0, and no positional arguments")
+		fs.Usage()
+		return 2
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "soak: %v\n", err)
+		return 2
+	}
+	corp, err := loadCorpus(*testdata, mix)
+	if err != nil {
+		fmt.Fprintf(stderr, "soak: %v\n", err)
+		return 2
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	pre, err := statsz(client, *target)
+	if err != nil {
+		fmt.Fprintf(stderr, "soak: target not answering: %v\n", err)
+		return 2
+	}
+
+	// The load: workers hammer the mix until the deadline; a sampler
+	// tracks the in-flight watermarks.
+	aggs := map[string]*endpointAgg{"check": {}, "verify": {}, "enumerate": {}}
+	loadCtx, cancelLoad := context.WithTimeout(ctx, *duration)
+	defer cancelLoad()
+	peak := toWatermark(pre)
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-loadCtx.Done():
+				return
+			case <-tick.C:
+				if st, err := statsz(client, *target); err == nil {
+					w := toWatermark(st)
+					if w.Goroutines > peak.Goroutines {
+						peak.Goroutines = w.Goroutines
+					}
+					if w.HeapBytes > peak.HeapBytes {
+						peak.HeapBytes = w.HeapBytes
+					}
+					if w.RSSBytes > peak.RSSBytes {
+						peak.RSSBytes = w.RSSBytes
+					}
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			pick := newPicker(seed, mix, corp)
+			for loadCtx.Err() == nil {
+				endpoint, body := pick.next()
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(loadCtx, http.MethodPost, *target+"/v1/"+endpoint, bytes.NewReader(body))
+				if err != nil {
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if loadCtx.Err() == nil {
+						aggs[endpoint].record(time.Since(t0), 0, true)
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				aggs[endpoint].record(time.Since(t0), resp.StatusCode, resp.Header.Get("X-Request-Id") != "")
+			}
+		}(int64(i) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	<-samplerDone
+	cancelLoad()
+
+	// Post-drain watermark: let in-flight work and idle connections
+	// settle, then sample once more. Interrupted runs skip the wait.
+	select {
+	case <-time.After(*settle):
+	case <-ctx.Done():
+	}
+	post, err := statsz(client, *target)
+	if err != nil {
+		fmt.Fprintf(stderr, "soak: post-drain statsz: %v\n", err)
+		return 2
+	}
+
+	rep := report{
+		Target:        *target,
+		GeneratedUnix: time.Now().Unix(),
+		DurationS:     elapsed.Seconds(),
+		Concurrency:   *concurrency,
+		Mix:           mix,
+		Endpoints:     make(map[string]endpointReport),
+		Cache:         post.Cache,
+		Runtime: map[string]watermark{
+			"pre":  toWatermark(pre),
+			"peak": peak,
+			"post": toWatermark(post),
+		},
+		PanicsRecovered: post.PanicsRecovered - pre.PanicsRecovered,
+		Violations:      []string{},
+	}
+	var all endpointAgg
+	for name, agg := range aggs {
+		if mix[name] == 0 {
+			continue
+		}
+		rep.Endpoints[name] = agg.summarize(elapsed)
+		agg.mu.Lock()
+		all.latencyMS = append(all.latencyMS, agg.latencyMS...)
+		all.errors += agg.errors
+		all.shed += agg.shed
+		all.missingID += agg.missingID
+		agg.mu.Unlock()
+	}
+	rep.Totals = all.summarize(elapsed)
+	rep.MissingRequestID = all.missingID
+	if denom := rep.Cache.Hits + rep.Cache.Misses; denom > 0 {
+		rep.CacheHitRatio = float64(rep.Cache.Hits) / float64(denom)
+	}
+
+	// Gate evaluation.
+	gating := *maxP99 > 0 || *maxErrRate >= 0 || *maxGoroutineGrowth >= 0 || *maxPanics >= 0
+	violate := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+	if *maxP99 > 0 {
+		limit := float64(*maxP99) / float64(time.Millisecond)
+		for name, er := range rep.Endpoints {
+			if er.P99MS > limit {
+				violate("%s p99 %.1fms exceeds %.1fms", name, er.P99MS, limit)
+			}
+		}
+	}
+	if *maxErrRate >= 0 && rep.Totals.Requests > 0 {
+		rate := float64(rep.Totals.Errors) / float64(rep.Totals.Requests)
+		if rate > *maxErrRate {
+			violate("error rate %.4f exceeds %.4f (%d/%d)", rate, *maxErrRate, rep.Totals.Errors, rep.Totals.Requests)
+		}
+	}
+	if *maxGoroutineGrowth >= 0 {
+		if growth := rep.Runtime["post"].Goroutines - rep.Runtime["pre"].Goroutines; growth > *maxGoroutineGrowth {
+			violate("goroutines grew by %d (pre %d, post %d), limit %d",
+				growth, rep.Runtime["pre"].Goroutines, rep.Runtime["post"].Goroutines, *maxGoroutineGrowth)
+		}
+	}
+	if *maxPanics >= 0 && rep.PanicsRecovered > *maxPanics {
+		violate("daemon recovered %d panics, limit %d", rep.PanicsRecovered, *maxPanics)
+	}
+	if gating && rep.MissingRequestID > 0 {
+		violate("%d responses carried no X-Request-Id", rep.MissingRequestID)
+	}
+	if gating && rep.Totals.Requests == 0 {
+		violate("load generated no completed requests")
+	}
+	rep.OK = len(rep.Violations) == 0
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "soak: %v\n", err)
+		return 2
+	}
+	doc = append(doc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			fmt.Fprintf(stderr, "soak: %v\n", err)
+			return 2
+		}
+	}
+	stdout.Write(doc)
+	for _, v := range rep.Violations {
+		fmt.Fprintf(stderr, "soak: VIOLATION: %s\n", v)
+	}
+	if !rep.OK {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// soakTarget boots an in-process daemon handler and a corpus dir with
+// one pair and one trace, returning the base URL and the corpus path.
+func soakTarget(t *testing.T) (base, corpusDir string) {
+	t.Helper()
+	s := serve.New(serve.Config{
+		CacheBytes: 1 << 20,
+		Limits:     serve.Limits{DefaultTimeout: 5 * time.Second, MaxEnumNodes: 2},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	dir := t.TempDir()
+	pair, err := os.ReadFile("../../testdata/figure2.ccm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := os.ReadFile("../../testdata/mp_stale.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.ccm"), pair, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.trace"), tr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return ts.URL, dir
+}
+
+// TestSoakRunWritesReport: a short soak completes with exit 0, writes
+// the JSON trajectory, and the numbers hang together — requests were
+// made, percentiles are ordered, every response carried a request ID,
+// and the repeated corpus hit the verdict cache.
+func TestSoakRunWritesReport(t *testing.T) {
+	base, corpus := soakTarget(t)
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-target", base, "-c", "4", "-duration", "500ms", "-settle", "50ms",
+		"-testdata", corpus, "-out", out,
+		"-max-error-rate", "0", "-max-panics", "0",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if rep.Totals.Requests == 0 {
+		t.Fatal("soak made no requests")
+	}
+	if rep.MissingRequestID != 0 {
+		t.Errorf("%d responses without a request id", rep.MissingRequestID)
+	}
+	if !rep.OK || len(rep.Violations) != 0 {
+		t.Errorf("report not ok: %v", rep.Violations)
+	}
+	for name, er := range rep.Endpoints {
+		if er.Requests == 0 {
+			t.Errorf("endpoint %s got no traffic", name)
+		}
+		if er.P50MS > er.P95MS || er.P95MS > er.P99MS || er.P99MS > er.MaxMS {
+			t.Errorf("%s percentiles not monotone: %+v", name, er)
+		}
+	}
+	if rep.CacheHitRatio == 0 {
+		t.Errorf("tiny corpus soak never hit the cache: %+v", rep.Cache)
+	}
+	if rep.Runtime["pre"].Goroutines <= 0 || rep.Runtime["post"].Goroutines <= 0 {
+		t.Errorf("watermarks not sampled: %+v", rep.Runtime)
+	}
+}
+
+// TestSoakThresholdViolation: an absurd p99 gate fails the run with
+// exit 1 and names the violation in the report and on stderr.
+func TestSoakThresholdViolation(t *testing.T) {
+	base, corpus := soakTarget(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-target", base, "-c", "2", "-duration", "300ms", "-settle", "10ms",
+		"-testdata", corpus, "-max-p99", "1ns",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "VIOLATION") || !strings.Contains(stderr.String(), "p99") {
+		t.Errorf("stderr does not name the violation: %s", stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || len(rep.Violations) == 0 {
+		t.Errorf("report.ok = %v with violations %v", rep.OK, rep.Violations)
+	}
+}
+
+func TestSoakUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no target
+		{"-target", "x", "-c", "0"}, // bad concurrency
+		{"-target", "x", "-mix", "teapot=1"},
+		{"-target", "x", "-mix", "check=0,verify=0,enumerate=0"},
+		{"-target", "x", "-testdata", "/nonexistent"},
+		{"-target", "http://127.0.0.1:1", "-duration", "10ms"}, // dead target
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2; stderr: %s", args, code, stderr.String())
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("check=6, verify=3,enumerate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["check"] != 6 || mix["verify"] != 3 || mix["enumerate"] != 1 {
+		t.Errorf("mix = %v", mix)
+	}
+	if _, err := parseMix("check=-1"); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := parseMix("check"); err == nil {
+		t.Error("missing weight accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}}
+	for _, tc := range cases {
+		if got := percentile(s, tc.p); got != tc.want {
+			t.Errorf("p%.0f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,47 @@
+package mw
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// AccessLog writes one structured logfmt line per completed exchange:
+//
+//	time=2026-08-08T12:00:00.000Z id=9f86d081deadbeef ip=10.0.0.7
+//	method=POST path=/v1/check status=200 bytes=412 dur_ms=3.142
+//
+// The line is emitted after the handler returns (Recovery inside this
+// middleware means panics log as the 500 they became). Writes to w are
+// serialized; pass something unbuffered (stderr, a rotated file).
+func AccessLog(w io.Writer) Middleware {
+	var mu sync.Mutex
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w0 http.ResponseWriter, r *http.Request) {
+			rw := wrap(w0)
+			start := time.Now()
+			next.ServeHTTP(rw, r)
+			ip := ClientIPFrom(r.Context())
+			if ip == "" {
+				ip = PeerIP(r)
+			}
+			line := fmt.Sprintf("time=%s id=%s ip=%s method=%s path=%s status=%d bytes=%d dur_ms=%.3f\n",
+				start.UTC().Format("2006-01-02T15:04:05.000Z"),
+				orDash(RequestIDFrom(r.Context())), ip,
+				r.Method, r.URL.Path, rw.status, rw.bytes,
+				float64(time.Since(start))/float64(time.Millisecond))
+			mu.Lock()
+			io.WriteString(w, line)
+			mu.Unlock()
+		})
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+// Package mw is the boring armor of the serving stack: small,
+// composable func(http.Handler) http.Handler middleware that the ccmd
+// daemon wraps around the decision endpoints in internal/serve.
+//
+// The pieces, from the outside of the stack inward:
+//
+//   - RequestID: accepts or generates an X-Request-Id, echoes it on
+//     every response, and threads it through the request context so
+//     error bodies, access logs, panic reports, and obs run labels all
+//     correlate one exchange.
+//   - RealIP: resolves the client address through a configured set of
+//     trusted proxies (X-Forwarded-For is only believed when the peer
+//     is trusted), so access logs survive a load balancer in front.
+//   - AccessLog: one structured logfmt line per completed exchange.
+//   - Recovery: catches handler panics, completes the exchange with a
+//     500 JSON body carrying the request ID, and hands the panic value
+//     and stack to a hook (serve counts it in /statsz and reports it
+//     through obs) — the daemon keeps serving.
+//   - Timeout: puts a deadline on the whole HTTP exchange via the
+//     request context, so a request wedged in the admission queue or
+//     behind a stuck singleflight fill is bounded even when the
+//     decision's own governors never fire.
+//
+// Every middleware is independent and ordering is explicit via Chain;
+// the composition the daemon uses is documented in internal/serve.
+package mw
+
+import "net/http"
+
+// Middleware wraps an http.Handler with one serving-stack behavior.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h in mws such that the first middleware listed is the
+// outermost (sees the request first, the response last).
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// responseWriter tracks what the inner handler did with the response:
+// the status code, the body bytes written, and whether the header has
+// been sent (Recovery must not write a 500 over a half-sent body, and
+// AccessLog wants the real status).
+type responseWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+// wrap returns w as a *responseWriter, reusing an existing wrapper so
+// stacked middleware observe one shared view of the exchange.
+func wrap(w http.ResponseWriter) *responseWriter {
+	if rw, ok := w.(*responseWriter); ok {
+		return rw
+	}
+	return &responseWriter{ResponseWriter: w, status: http.StatusOK}
+}
+
+func (w *responseWriter) WriteHeader(code int) {
+	if w.wrote {
+		return
+	}
+	w.wrote = true
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *responseWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers keep
+// working through the wrapper.
+func (w *responseWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ctxKey namespaces the package's context values.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyClientIP
+)

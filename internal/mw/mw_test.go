@@ -1,0 +1,283 @@
+package mw
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(h http.Handler, mutate ...func(*http.Request)) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(http.MethodGet, "/v1/check", nil)
+	r.RemoteAddr = "192.0.2.10:4242"
+	for _, m := range mutate {
+		m(r)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// TestChainOrder: the first middleware listed is the outermost.
+func TestChainOrder(t *testing.T) {
+	var order []string
+	tag := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), tag("outer"), tag("inner"))
+	get(h)
+	if got := strings.Join(order, ","); got != "outer,inner,handler" {
+		t.Errorf("execution order %s, want outer,inner,handler", got)
+	}
+}
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func TestRequestIDGenerated(t *testing.T) {
+	var seen []string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = append(seen, RequestIDFrom(r.Context()))
+	}), RequestID())
+	w1, w2 := get(h), get(h)
+	id1, id2 := w1.Header().Get(HeaderRequestID), w2.Header().Get(HeaderRequestID)
+	if !hexID.MatchString(id1) || !hexID.MatchString(id2) {
+		t.Fatalf("generated ids %q, %q not 16 hex chars", id1, id2)
+	}
+	if id1 == id2 {
+		t.Error("two requests got the same generated id")
+	}
+	if len(seen) != 2 || seen[0] != id1 || seen[1] != id2 {
+		t.Errorf("context ids %v do not match headers [%s %s]", seen, id1, id2)
+	}
+}
+
+func TestRequestIDInbound(t *testing.T) {
+	var got string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = RequestIDFrom(r.Context())
+	}), RequestID())
+	cases := []struct {
+		inbound string
+		keep    bool
+	}{
+		{"upstream-trace.42", true},
+		{"ABCDEF1234567890", true},
+		{"short", false},                         // under the length floor
+		{strings.Repeat("a", 65), false},         // over the ceiling
+		{"bad id with spaces", false},            // unsafe chars
+		{"evil\r\nSet-Cookie: pwned=1{}", false}, // header injection
+	}
+	for _, tc := range cases {
+		w := get(h, func(r *http.Request) { r.Header.Set(HeaderRequestID, tc.inbound) })
+		echoed := w.Header().Get(HeaderRequestID)
+		if tc.keep && (echoed != tc.inbound || got != tc.inbound) {
+			t.Errorf("valid inbound id %q was not propagated (header %q, ctx %q)", tc.inbound, echoed, got)
+		}
+		if !tc.keep {
+			if echoed == tc.inbound {
+				t.Errorf("invalid inbound id %q was echoed verbatim", tc.inbound)
+			}
+			if !hexID.MatchString(echoed) {
+				t.Errorf("invalid inbound id %q not replaced by a generated one (got %q)", tc.inbound, echoed)
+			}
+		}
+	}
+}
+
+func TestRecoveryCompletesExchange(t *testing.T) {
+	var info PanicInfo
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), RequestID(), Recovery(func(p PanicInfo) { info = p }))
+	w := get(h)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", w.Code)
+	}
+	id := w.Header().Get(HeaderRequestID)
+	if id == "" || !strings.Contains(w.Body.String(), id) {
+		t.Errorf("500 body %q does not carry the request id %q", w.Body.String(), id)
+	}
+	if info.Value != "kaboom" || info.RequestID != id || info.Path != "/v1/check" {
+		t.Errorf("panic info %+v, want value kaboom, id %s, path /v1/check", info, id)
+	}
+	if !strings.Contains(string(info.Stack), "TestRecoveryCompletesExchange") {
+		t.Error("panic info stack does not reach the panicking frame")
+	}
+}
+
+// TestRecoveryAfterPartialWrite: once the header is out, a trailing
+// 500 would be a lie; the recovery must swallow the panic without
+// rewriting the status.
+func TestRecoveryAfterPartialWrite(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, "partial")
+		panic("late kaboom")
+	}), Recovery(nil))
+	w := get(h)
+	if w.Code != http.StatusOK || w.Body.String() != "partial" {
+		t.Errorf("partial exchange rewritten: %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestRecoveryReraisesAbortHandler(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), Recovery(func(PanicInfo) { t.Error("ErrAbortHandler reported as a panic") }))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Error("ErrAbortHandler was swallowed")
+		}
+	}()
+	get(h)
+}
+
+func TestAccessLogLine(t *testing.T) {
+	var buf strings.Builder
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short and stout")
+	}), RequestID(), AccessLog(&buf))
+	w := get(h)
+	line := buf.String()
+	for _, want := range []string{
+		"method=GET", "path=/v1/check", "status=418", "bytes=15",
+		"ip=192.0.2.10", "id=" + w.Header().Get(HeaderRequestID),
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access line %q missing %q", line, want)
+		}
+	}
+	if !strings.Contains(line, "dur_ms=") || !strings.Contains(line, "time=") {
+		t.Errorf("access line %q missing timing fields", line)
+	}
+}
+
+// TestAccessLogSeesRecoveredStatus: with Recovery stacked inside
+// AccessLog, a panicking handler logs as the 500 it became.
+func TestAccessLogSeesRecoveredStatus(t *testing.T) {
+	var buf strings.Builder
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), AccessLog(&buf), Recovery(nil))
+	get(h)
+	if !strings.Contains(buf.String(), "status=500") {
+		t.Errorf("access line %q does not record the recovered 500", buf.String())
+	}
+}
+
+func TestRealIP(t *testing.T) {
+	trusted, err := ParseProxyList("10.0.0.0/8, 127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		remote string
+		xff    string
+		want   string
+	}{
+		{"no proxy, header ignored", "192.0.2.10:4242", "203.0.113.9", "192.0.2.10"},
+		{"trusted peer, one hop", "10.1.2.3:80", "203.0.113.9", "203.0.113.9"},
+		{"trusted peer, trusted tail skipped", "10.1.2.3:80", "203.0.113.9, 10.9.9.9", "203.0.113.9"},
+		{"spoofed prefix beyond untrusted hop", "10.1.2.3:80", "198.51.100.7, 203.0.113.9", "203.0.113.9"},
+		{"all hops trusted", "127.0.0.1:80", "10.0.0.5", "10.0.0.5"},
+		{"garbage header", "10.1.2.3:80", "not-an-ip", "10.1.2.3"},
+		{"empty header", "10.1.2.3:80", "", "10.1.2.3"},
+	}
+	var got string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = ClientIPFrom(r.Context())
+	}), RealIP(trusted))
+	for _, tc := range cases {
+		get(h, func(r *http.Request) {
+			r.RemoteAddr = tc.remote
+			if tc.xff != "" {
+				r.Header.Set("X-Forwarded-For", tc.xff)
+			}
+		})
+		if got != tc.want {
+			t.Errorf("%s: client ip %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseProxyListRejectsGarbage(t *testing.T) {
+	if _, err := ParseProxyList("10.0.0.0/8, teapot"); err == nil {
+		t.Error("garbage proxy list accepted")
+	}
+	if p, err := ParseProxyList(" "); err != nil || p != nil {
+		t.Errorf("blank list = (%v, %v), want empty and nil error", p, err)
+	}
+	if _, err := ParseProxyList("::1, fd00::/8"); err != nil {
+		t.Errorf("IPv6 entries rejected: %v", err)
+	}
+}
+
+func TestTimeoutBoundsExchange(t *testing.T) {
+	var deadline time.Time
+	var ok bool
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadline, ok = r.Context().Deadline()
+	}), Timeout(250*time.Millisecond))
+	get(h)
+	if !ok || time.Until(deadline) > 250*time.Millisecond {
+		t.Errorf("deadline = (%v, %v), want within 250ms", deadline, ok)
+	}
+
+	h = Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok = r.Context().Deadline()
+	}), Timeout(0))
+	get(h)
+	if ok {
+		t.Error("Timeout(0) still set a deadline")
+	}
+}
+
+// TestTimeoutCancelsWaiters: a handler blocked on something
+// context-aware (the admission queue, a singleflight fill) unblocks at
+// the exchange deadline.
+func TestTimeoutCancelsWaiters(t *testing.T) {
+	done := make(chan error, 1)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		done <- r.Context().Err()
+	}), Timeout(30*time.Millisecond))
+	get(h)
+	select {
+	case err := <-done:
+		if err != context.DeadlineExceeded {
+			t.Errorf("ctx err = %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never observed the exchange deadline")
+	}
+}
+
+func TestResponseWriterSingleHeader(t *testing.T) {
+	w := httptest.NewRecorder()
+	rw := wrap(w)
+	if wrap(rw) != rw {
+		t.Error("wrap re-wrapped an existing responseWriter")
+	}
+	rw.WriteHeader(http.StatusBadGateway)
+	rw.WriteHeader(http.StatusOK) // ignored: header already sent
+	rw.Write([]byte("body"))
+	if rw.status != http.StatusBadGateway || w.Code != http.StatusBadGateway {
+		t.Errorf("status %d/%d, want 502", rw.status, w.Code)
+	}
+	if rw.bytes != 4 {
+		t.Errorf("bytes = %d, want 4", rw.bytes)
+	}
+}

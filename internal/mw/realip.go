@@ -1,0 +1,116 @@
+package mw
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+)
+
+// RealIP resolves the true client address and threads it through the
+// request context for ClientIPFrom (the access log reads it there).
+//
+// X-Forwarded-For is attacker-controlled unless a trusted proxy set
+// it, so the resolution is deliberate: start from the TCP peer
+// (RemoteAddr); only if that peer is inside a trusted prefix, walk
+// X-Forwarded-For right to left, skipping further trusted hops, and
+// believe the first untrusted entry. With no trusted proxies (the
+// default) the header is ignored entirely.
+func RealIP(trusted []netip.Prefix) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ip := clientIP(r, trusted)
+			ctx := context.WithValue(r.Context(), ctxKeyClientIP, ip)
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// ClientIPFrom returns the resolved client IP, or "" outside a
+// RealIP-wrapped handler.
+func ClientIPFrom(ctx context.Context) string {
+	ip, _ := ctx.Value(ctxKeyClientIP).(string)
+	return ip
+}
+
+// PeerIP returns the bare IP of the TCP peer (RemoteAddr without the
+// port), best-effort.
+func PeerIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func clientIP(r *http.Request, trusted []netip.Prefix) string {
+	peer := PeerIP(r)
+	addr, err := netip.ParseAddr(peer)
+	if err != nil || !inPrefixes(addr, trusted) {
+		return peer
+	}
+	// The peer is a trusted proxy: the rightmost untrusted
+	// X-Forwarded-For entry is the client.
+	hops := splitForwarded(r.Header.Values("X-Forwarded-For"))
+	for i := len(hops) - 1; i >= 0; i-- {
+		a, err := netip.ParseAddr(hops[i])
+		if err != nil {
+			break // garbage beyond here is unattributable
+		}
+		if !inPrefixes(a, trusted) {
+			return a.String()
+		}
+		if i == 0 {
+			return a.String() // every hop trusted: the origin is the client
+		}
+	}
+	return peer
+}
+
+// splitForwarded flattens possibly repeated X-Forwarded-For headers
+// into trimmed entries, oldest first.
+func splitForwarded(headers []string) []string {
+	var hops []string
+	for _, h := range headers {
+		for _, part := range strings.Split(h, ",") {
+			if p := strings.TrimSpace(part); p != "" {
+				hops = append(hops, p)
+			}
+		}
+	}
+	return hops
+}
+
+func inPrefixes(a netip.Addr, prefixes []netip.Prefix) bool {
+	for _, p := range prefixes {
+		if p.Contains(a.Unmap()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseProxyList parses a comma-separated list of CIDR prefixes or
+// bare IPs (treated as /32 or /128) into trusted prefixes. An empty
+// list is valid and means "trust nobody".
+func ParseProxyList(s string) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if p, err := netip.ParsePrefix(part); err == nil {
+			out = append(out, p)
+			continue
+		}
+		a, err := netip.ParseAddr(part)
+		if err != nil {
+			return nil, fmt.Errorf("trusted proxy %q is neither a CIDR prefix nor an IP", part)
+		}
+		out = append(out, netip.PrefixFrom(a, a.BitLen()))
+	}
+	return out, nil
+}

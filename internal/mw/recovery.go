@@ -1,0 +1,63 @@
+package mw
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime/debug"
+)
+
+// PanicInfo describes one recovered handler panic.
+type PanicInfo struct {
+	// RequestID is the exchange's correlation id ("" without RequestID
+	// middleware outside this one).
+	RequestID string
+	// Method and Path identify the request.
+	Method, Path string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack []byte
+}
+
+// Recovery catches a panicking handler and completes the exchange
+// instead of letting net/http kill it mid-body: if the response header
+// has not been sent yet the client gets a 500 JSON body carrying the
+// request ID; either way onPanic (may be nil) receives the panic value
+// and stack, and the server keeps serving. http.ErrAbortHandler is
+// re-panicked — it is net/http's sanctioned way to abort an exchange,
+// not a bug.
+func Recovery(onPanic func(PanicInfo)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rw := wrap(w)
+			defer func() {
+				val := recover()
+				if val == nil {
+					return
+				}
+				if val == http.ErrAbortHandler {
+					panic(val)
+				}
+				if onPanic != nil {
+					onPanic(PanicInfo{
+						RequestID: RequestIDFrom(r.Context()),
+						Method:    r.Method,
+						Path:      r.URL.Path,
+						Value:     val,
+						Stack:     debug.Stack(),
+					})
+				}
+				if !rw.wrote {
+					rw.Header().Set("Content-Type", "application/json")
+					rw.WriteHeader(http.StatusInternalServerError)
+					body, _ := json.Marshal(struct {
+						Error     string `json:"error"`
+						RequestID string `json:"request_id,omitempty"`
+					}{"internal server error", RequestIDFrom(r.Context())})
+					rw.Write(append(body, '\n'))
+				}
+			}()
+			next.ServeHTTP(rw, r)
+		})
+	}
+}

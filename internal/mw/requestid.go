@@ -1,0 +1,76 @@
+package mw
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// HeaderRequestID is the correlation header the stack reads and
+// echoes.
+const HeaderRequestID = "X-Request-Id"
+
+// requestID length bounds for inbound ids: long enough to be unique,
+// short enough that a hostile client cannot stuff logs.
+const (
+	minInboundIDLen = 8
+	maxInboundIDLen = 64
+)
+
+// RequestID accepts a well-formed inbound X-Request-Id (so a caller or
+// an upstream proxy can correlate across hops) or generates a fresh
+// one, sets it on the response before the handler runs, and threads it
+// through the request context for RequestIDFrom.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(HeaderRequestID)
+			if !validRequestID(id) {
+				id = newRequestID()
+			}
+			w.Header().Set(HeaderRequestID, id)
+			ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// RequestIDFrom returns the exchange's request ID, or "" outside a
+// RequestID-wrapped handler.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// validRequestID screens inbound ids: bounded length, characters safe
+// for headers and log lines.
+func validRequestID(id string) bool {
+	if len(id) < minInboundIDLen || len(id) > maxInboundIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// idSeq backs the (never expected) fallback when crypto/rand fails.
+var idSeq atomic.Int64
+
+// newRequestID returns 16 hex chars of crypto/rand entropy.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("seq-%012d", idSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,30 @@
+package mw
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Timeout puts a deadline on the whole HTTP exchange by replacing the
+// request context with a timed one. Everything downstream that honors
+// the request context — the admission-queue wait, the singleflight
+// wait on a concurrent fill, request decoding — observes it, so a
+// wedged search can never outlive its exchange: the serving layer in
+// internal/serve clamps this onto the governance Limits (exchange
+// budget = decision ceiling + scheduling grace), making the context
+// deadline the backstop behind the engine's own governors.
+//
+// A non-positive d disables the middleware.
+func Timeout(d time.Duration) Middleware {
+	if d <= 0 {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}

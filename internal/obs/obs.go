@@ -72,23 +72,29 @@ const (
 	// WorkerDone: a worker flushed its private counters at exit.
 	// Fields: Run, Worker, Stats.
 	WorkerDone
+	// PanicRecovered: a serving-stack recovery middleware caught a
+	// handler panic and completed the exchange with a 500. Fields: Run
+	// (endpoint and request ID), Str (the panic value followed by the
+	// goroutine stack).
+	PanicRecovered
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	RunStart:      "run-start",
-	RunEnd:        "run-end",
-	PhaseStart:    "phase",
-	RootClaimed:   "root-claimed",
-	RootSkipped:   "root-skipped",
-	RootFinished:  "root-finished",
-	GovernorFired: "governor",
-	MemoFreeze:    "memo-freeze",
-	FaultInjected: "fault",
-	ShrinkStep:    "shrink-step",
-	PlanDone:      "plan-done",
-	WorkerDone:    "worker-done",
+	RunStart:       "run-start",
+	RunEnd:         "run-end",
+	PhaseStart:     "phase",
+	RootClaimed:    "root-claimed",
+	RootSkipped:    "root-skipped",
+	RootFinished:   "root-finished",
+	GovernorFired:  "governor",
+	MemoFreeze:     "memo-freeze",
+	FaultInjected:  "fault",
+	ShrinkStep:     "shrink-step",
+	PlanDone:       "plan-done",
+	WorkerDone:     "worker-done",
+	PanicRecovered: "panic-recovered",
 }
 
 // String returns the stable spelling of the kind (used in trace
@@ -204,6 +210,29 @@ func WithRun(rec Recorder, run string) Recorder {
 		return nil
 	}
 	return withRun{rec: rec, run: run}
+}
+
+// withRunPrefix prepends a prefix to every event's run label, labeled
+// or not. The serving stack uses it to thread request IDs into the
+// decision events its handlers produce.
+type withRunPrefix struct {
+	rec    Recorder
+	prefix string
+}
+
+func (w withRunPrefix) Record(ev Event) {
+	ev.Run = w.prefix + ev.Run
+	w.rec.Record(ev)
+}
+
+// WithRunPrefix returns a recorder that prefixes every event's run
+// label (empty or not) with prefix before forwarding to rec. A nil
+// rec stays nil, and an empty prefix returns rec unchanged.
+func WithRunPrefix(rec Recorder, prefix string) Recorder {
+	if rec == nil || prefix == "" {
+		return rec
+	}
+	return withRunPrefix{rec: rec, prefix: prefix}
 }
 
 // multi fans events out to several recorders.

@@ -66,6 +66,9 @@ type EventCounts struct {
 	ShrinkSteps    int64 `json:"shrink_steps"`
 	PlansDone      int64 `json:"plans_done"`
 	PlanViolations int64 `json:"plan_violations"`
+	// PanicsRecovered counts handler panics the serving stack's
+	// recovery middleware turned into completed 500 exchanges.
+	PanicsRecovered int64 `json:"panics_recovered"`
 }
 
 // ReportCollector is the recorder behind -report: it folds the event
@@ -129,6 +132,8 @@ func (c *ReportCollector) Record(ev Event) {
 		if ev.Str == "VIOLATED" || ev.Str == "OUT" {
 			c.rep.Events.PlanViolations++
 		}
+	case PanicRecovered:
+		c.rep.Events.PanicsRecovered++
 	}
 }
 

@@ -115,9 +115,12 @@ type EnumerateResponse struct {
 	Census   string `json:"census"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx response.
+// ErrorResponse is the JSON body of every non-2xx response. RequestID
+// repeats the X-Request-Id header so a logged body alone is enough to
+// correlate with the daemon's access log.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Limits is the server-side governance ceiling. Requests may ask for
@@ -167,6 +170,23 @@ func (l Limits) searchOptions(o Options) (search.Options, time.Duration) {
 		timeout = l.MaxTimeout
 	}
 	return opts, timeout
+}
+
+// ExchangeTimeout is the deadline the Timeout middleware puts on a
+// whole HTTP exchange, derived from the governance ceilings: twice the
+// largest decision deadline the limits allow (a request can spend one
+// ceiling waiting in the admission queue and one deciding) plus fixed
+// scheduling grace. An ungoverned server (no timeout ceilings) gets no
+// exchange bound — there is nothing to clamp onto.
+func (l Limits) ExchangeTimeout() time.Duration {
+	d := l.MaxTimeout
+	if d <= 0 {
+		d = l.DefaultTimeout
+	}
+	if d <= 0 {
+		return 0
+	}
+	return 2*d + 10*time.Second
 }
 
 // optionsFingerprint is the options part of the verdict-cache key:

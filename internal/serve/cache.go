@@ -2,8 +2,10 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"sync"
 )
 
@@ -54,6 +56,12 @@ func (s cacheSource) String() string {
 		return "miss"
 	}
 }
+
+// errFillPanicked is what collapsed waiters get when the flight
+// owner's fill panicked: their exchanges complete with a 500 while the
+// panic itself propagates to the recovery middleware on the owner's
+// goroutine.
+var errFillPanicked = errors.New("serve: decision panicked")
 
 // flight is one in-progress fill shared by duplicate requests.
 type flight struct {
@@ -108,7 +116,18 @@ func newCache(capacity int64) *cache {
 // collapsing concurrent fills for the same key into one. fill reports
 // whether its result may be stored; errors are never stored and are
 // returned to every collapsed waiter.
-func (c *cache) do(key string, fill func() (body []byte, cacheable bool, err error)) ([]byte, cacheSource, error) {
+//
+// ctx bounds only the *wait* on a concurrent fill (a collapsed waiter
+// whose exchange deadline expires walks away; the flight keeps
+// computing for everyone else). The fill itself runs under the
+// server's decision context, deliberately not ctx — see
+// Server.decisionContext.
+//
+// do is panic-safe: if fill panics, the flight is failed and removed
+// so collapsed waiters complete with errFillPanicked instead of
+// hanging, and the panic continues up the owner's goroutine to the
+// recovery middleware.
+func (c *cache) do(ctx context.Context, key string, fill func() (body []byte, cacheable bool, err error)) ([]byte, cacheSource, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -120,15 +139,31 @@ func (c *cache) do(key string, fill func() (body []byte, cacheable bool, err err
 	if f, ok := c.flights[key]; ok {
 		c.shared++
 		c.mu.Unlock()
-		<-f.done
-		return f.body, sourceShared, f.err
+		select {
+		case <-f.done:
+			return f.body, sourceShared, f.err
+		case <-ctx.Done():
+			return nil, sourceShared, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.misses++
 	c.mu.Unlock()
 
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		f.err = errFillPanicked
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
 	body, cacheable, err := fill()
+	completed = true
 	f.body, f.err = body, err
 
 	c.mu.Lock()

@@ -2,10 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func fillWith(body string) func() ([]byte, bool, error) {
@@ -14,12 +16,12 @@ func fillWith(body string) func() ([]byte, bool, error) {
 
 func TestCacheHitAfterMiss(t *testing.T) {
 	c := newCache(1 << 20)
-	body, src, err := c.do("k", fillWith("v"))
+	body, src, err := c.do(context.Background(), "k", fillWith("v"))
 	if err != nil || src != sourceMiss || string(body) != "v" {
 		t.Fatalf("first do = %q, %v, %v; want v, miss, nil", body, src, err)
 	}
 	calls := 0
-	body, src, err = c.do("k", func() ([]byte, bool, error) { calls++; return nil, false, nil })
+	body, src, err = c.do(context.Background(), "k", func() ([]byte, bool, error) { calls++; return nil, false, nil })
 	if err != nil || src != sourceHit || string(body) != "v" || calls != 0 {
 		t.Fatalf("second do = %q, %v, %v (fill calls %d); want cached v, hit, nil, 0", body, src, err, calls)
 	}
@@ -31,10 +33,10 @@ func TestCacheHitAfterMiss(t *testing.T) {
 
 func TestCacheUncacheableNotStored(t *testing.T) {
 	c := newCache(1 << 20)
-	if _, _, err := c.do("k", func() ([]byte, bool, error) { return []byte("v"), false, nil }); err != nil {
+	if _, _, err := c.do(context.Background(), "k", func() ([]byte, bool, error) { return []byte("v"), false, nil }); err != nil {
 		t.Fatal(err)
 	}
-	if _, src, _ := c.do("k", fillWith("w")); src != sourceMiss {
+	if _, src, _ := c.do(context.Background(), "k", fillWith("w")); src != sourceMiss {
 		t.Fatalf("uncacheable result was served from cache (%v)", src)
 	}
 }
@@ -42,7 +44,7 @@ func TestCacheUncacheableNotStored(t *testing.T) {
 func TestCacheErrorNotStoredAndPropagated(t *testing.T) {
 	c := newCache(1 << 20)
 	boom := errors.New("boom")
-	if _, _, err := c.do("k", func() ([]byte, bool, error) { return nil, true, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.do(context.Background(), "k", func() ([]byte, bool, error) { return nil, true, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if st := c.stats(); st.Entries != 0 {
@@ -58,17 +60,17 @@ func TestCacheLRUEviction(t *testing.T) {
 	perEntry := int64(1+len(body)) + entryOverhead
 	c := newCache(2 * perEntry)
 	fill := func() ([]byte, bool, error) { return body, true, nil }
-	c.do("a", fill)
-	c.do("b", fill)
-	c.do("a", fill) // hit: refresh a, so b is now LRU
-	c.do("c", fill) // evicts b
-	if _, src, _ := c.do("a", fill); src != sourceHit {
+	c.do(context.Background(), "a", fill)
+	c.do(context.Background(), "b", fill)
+	c.do(context.Background(), "a", fill) // hit: refresh a, so b is now LRU
+	c.do(context.Background(), "c", fill) // evicts b
+	if _, src, _ := c.do(context.Background(), "a", fill); src != sourceHit {
 		t.Errorf("a evicted; want kept (refreshed)")
 	}
-	if _, src, _ := c.do("c", fill); src != sourceHit {
+	if _, src, _ := c.do(context.Background(), "c", fill); src != sourceHit {
 		t.Errorf("c evicted; want kept (most recent)")
 	}
-	if _, src, _ := c.do("b", fill); src != sourceMiss {
+	if _, src, _ := c.do(context.Background(), "b", fill); src != sourceMiss {
 		t.Errorf("b kept; want evicted as LRU")
 	}
 	st := c.stats()
@@ -82,8 +84,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheZeroCapacityDisablesStorage(t *testing.T) {
 	c := newCache(0)
-	c.do("k", fillWith("v"))
-	if _, src, _ := c.do("k", fillWith("v")); src != sourceMiss {
+	c.do(context.Background(), "k", fillWith("v"))
+	if _, src, _ := c.do(context.Background(), "k", fillWith("v")); src != sourceMiss {
 		t.Fatalf("zero-capacity cache served a %v", src)
 	}
 }
@@ -104,7 +106,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, _, err := c.do("k", func() ([]byte, bool, error) {
+			body, _, err := c.do(context.Background(), "k", func() ([]byte, bool, error) {
 				fills++ // safe: only one fill may run
 				once.Do(func() { close(started) })
 				<-gate
@@ -148,5 +150,72 @@ func TestKeyIsInjectiveOverFieldBoundaries(t *testing.T) {
 		if got := Key("x", fmt.Sprint(i)); len(got) != 64 {
 			t.Fatalf("key length %d, want 64 hex chars", len(got))
 		}
+	}
+}
+
+// TestCachePanicFailsFlight: a panicking fill must not strand
+// collapsed waiters or leak the flight entry — waiters complete with
+// errFillPanicked, the panic propagates on the owner's goroutine, and
+// a later request for the same key gets a fresh fill.
+func TestCachePanicFailsFlight(t *testing.T) {
+	c := newCache(1 << 20)
+	waiterErr := make(chan error, 1)
+	go func() {
+		// Attach to the flight once it exists.
+		waitFor(t, func() bool { return c.stats().Misses == 1 })
+		_, _, err := c.do(context.Background(), "k", fillWith("never runs"))
+		waiterErr <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the flight owner")
+			}
+		}()
+		c.do(context.Background(), "k", func() ([]byte, bool, error) {
+			// Panic only once the waiter is attached to the flight, so
+			// the cleanup path is what unblocks it.
+			waitFor(t, func() bool { return c.stats().Shared == 1 })
+			panic("decision exploded")
+		})
+	}()
+	if err := <-waiterErr; !errors.Is(err, errFillPanicked) {
+		t.Fatalf("waiter err = %v, want errFillPanicked", err)
+	}
+	// The key is free again: a fresh fill runs and caches normally.
+	body, src, err := c.do(context.Background(), "k", fillWith("recovered"))
+	if err != nil || src != sourceMiss || string(body) != "recovered" {
+		t.Fatalf("post-panic do = %q, %v, %v; want fresh miss", body, src, err)
+	}
+}
+
+// TestCacheWaiterHonorsContext: a collapsed waiter whose context
+// expires walks away with the context error instead of blocking on a
+// slow fill forever — the exchange-timeout middleware depends on this.
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := newCache(1 << 20)
+	gate := make(chan struct{})
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		c.do(context.Background(), "k", func() ([]byte, bool, error) {
+			<-gate
+			return []byte("slow"), true, nil
+		})
+	}()
+	waitFor(t, func() bool { return c.stats().Misses == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, src, err := c.do(ctx, "k", fillWith("never runs"))
+	if !errors.Is(err, context.DeadlineExceeded) || src != sourceShared {
+		t.Fatalf("expired waiter = %v, %v; want shared + DeadlineExceeded", src, err)
+	}
+	close(gate)
+	<-ownerDone
+	// The abandoned fill still completed and cached for everyone else.
+	body, src, err := c.do(context.Background(), "k", fillWith("never runs"))
+	if err != nil || src != sourceHit || string(body) != "slow" {
+		t.Fatalf("post-abandon do = %q, %v, %v; want cached slow", body, src, err)
 	}
 }

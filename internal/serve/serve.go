@@ -39,7 +39,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/netip"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -49,6 +52,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/expt"
 	"repro/internal/memmodel"
+	"repro/internal/mw"
 	"repro/internal/obs"
 	"repro/internal/observer"
 	"repro/internal/trace"
@@ -76,6 +80,16 @@ type Config struct {
 	// Recorder receives the decision stack's observability events
 	// (engine runs, governor firings); nil disables them.
 	Recorder obs.Recorder
+	// AccessLog receives one structured line per completed exchange
+	// (nil disables access logging).
+	AccessLog io.Writer
+	// TrustedProxies are the peers whose X-Forwarded-For is believed
+	// when resolving client addresses for the access log.
+	TrustedProxies []netip.Prefix
+	// RequestTimeout bounds the whole HTTP exchange (admission-queue
+	// wait and singleflight wait included). 0 derives it from
+	// Limits.ExchangeTimeout; negative disables the bound.
+	RequestTimeout time.Duration
 }
 
 // EndpointStats is one endpoint's request gauges in /statsz.
@@ -152,14 +166,49 @@ func (t *engineTotals) stats() EngineTotals {
 	}
 }
 
+// RuntimeStats is the process health block in /statsz — the gauges a
+// soak harness samples for goroutine and memory watermarks.
+type RuntimeStats struct {
+	Goroutines     int   `json:"goroutines"`
+	HeapAllocBytes int64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   int64 `json:"heap_sys_bytes"`
+	// RSSBytes is the OS-reported resident set (0 where unreadable).
+	RSSBytes int64 `json:"rss_bytes"`
+}
+
+// readRuntimeStats samples the process gauges. RSS comes from
+// /proc/self/statm, best-effort (0 off Linux).
+func readRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: int64(ms.HeapAlloc),
+		HeapSysBytes:   int64(ms.HeapSys),
+	}
+	if data, err := os.ReadFile("/proc/self/statm"); err == nil {
+		fields := strings.Fields(string(data))
+		if len(fields) >= 2 {
+			if pages, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				st.RSSBytes = pages * int64(os.Getpagesize())
+			}
+		}
+	}
+	return st
+}
+
 // Statsz is the /statsz document.
 type Statsz struct {
-	UptimeMS  int64                    `json:"uptime_ms"`
-	Draining  bool                     `json:"draining"`
-	Admission AdmissionStats           `json:"admission"`
-	Cache     CacheStats               `json:"cache"`
-	Engine    EngineTotals             `json:"engine"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
+	UptimeMS int64 `json:"uptime_ms"`
+	Draining bool  `json:"draining"`
+	// PanicsRecovered counts handler panics the recovery middleware
+	// turned into completed 500 exchanges.
+	PanicsRecovered int64                    `json:"panics_recovered"`
+	Admission       AdmissionStats           `json:"admission"`
+	Cache           CacheStats               `json:"cache"`
+	Engine          EngineTotals             `json:"engine"`
+	Runtime         RuntimeStats             `json:"runtime"`
+	Endpoints       map[string]EndpointStats `json:"endpoints"`
 }
 
 // Server is the assembled service. Create with New, expose with
@@ -169,11 +218,13 @@ type Server struct {
 	adm        *admission
 	cache      *cache
 	mux        *http.ServeMux
+	handler    http.Handler // mux wrapped in the middleware stack
 	start      time.Time
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	metrics    map[string]*endpointMetrics
 	totals     engineTotals
+	panics     atomic.Int64
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -210,11 +261,48 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /statsz", s.instrument("statsz", s.handleStatsz))
+
+	// The middleware armor, outermost first: correlate (RequestID),
+	// attribute (RealIP), log (AccessLog), survive (Recovery — inside
+	// the log so panics log as the 500 they became), bound (Timeout —
+	// innermost so the whole exchange, queue wait included, shares one
+	// deadline clamped onto the governance ceilings).
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = cfg.Limits.ExchangeTimeout()
+	}
+	s.handler = mw.Chain(s.mux,
+		mw.RequestID(),
+		mw.RealIP(cfg.TrustedProxies),
+		accessLogOrNoop(cfg.AccessLog),
+		mw.Recovery(s.onPanic),
+		mw.Timeout(timeout),
+	)
 	return s
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// accessLogOrNoop keeps the chain uniform when access logging is off.
+func accessLogOrNoop(w io.Writer) mw.Middleware {
+	if w == nil {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return mw.AccessLog(w)
+}
+
+// onPanic is the Recovery hook: count for /statsz, report the value
+// and stack through obs under the exchange's request ID.
+func (s *Server) onPanic(p mw.PanicInfo) {
+	s.panics.Add(1)
+	obs.Emit(s.cfg.Recorder, obs.Event{
+		Kind: obs.PanicRecovered,
+		Run:  fmt.Sprintf("%s %s %s", p.Method, p.Path, p.RequestID),
+		Str:  fmt.Sprintf("%v\n%s", p.Value, p.Stack),
+	})
+}
+
+// Handler returns the HTTP handler tree, wrapped in the middleware
+// stack.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Shutdown drains the server: admission stops immediately (healthz
 // flips to 503, new decisions get 503 draining), in-flight decisions
@@ -239,7 +327,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// instrument wraps a handler with the per-endpoint gauges.
+// instrument wraps a handler with the per-endpoint gauges. The
+// bookkeeping is deferred so a panicking handler (recovered by the
+// middleware above the mux) still decrements in_flight and counts as
+// an error instead of skewing the gauges forever.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	m := s.metrics[name]
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -247,15 +338,19 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		m.inFlight.Add(1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		m.inFlight.Add(-1)
-		m.latencyUS.Add(time.Since(start).Microseconds())
-		if sw.code >= 400 {
-			m.errors.Add(1)
-			if sw.code == http.StatusServiceUnavailable {
-				m.shed.Add(1)
+		panicked := true
+		defer func() {
+			m.inFlight.Add(-1)
+			m.latencyUS.Add(time.Since(start).Microseconds())
+			if panicked || sw.code >= 400 {
+				m.errors.Add(1)
+				if sw.code == http.StatusServiceUnavailable {
+					m.shed.Add(1)
+				}
 			}
-		}
+		}()
+		h(sw, r)
+		panicked = false
 	}
 }
 
@@ -282,14 +377,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(body, '\n'))
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+// writeError completes a failed exchange; the body echoes the request
+// ID so a logged error correlates without the response headers.
+func writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error(), RequestID: mw.RequestIDFrom(r.Context())})
 }
 
-// writeUnavailable maps admission failures onto 503 + Retry-After.
-func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+// writeUnavailable maps admission failures onto 503 + Retry-After,
+// rounding sub-second hints up so the header never renders "0" (which
+// clients read as "retry immediately" — the opposite of backing off).
+func (s *Server) writeUnavailable(w http.ResponseWriter, r *http.Request, err error) {
 	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-	writeError(w, http.StatusServiceUnavailable, err)
+	writeError(w, r, http.StatusServiceUnavailable, err)
 }
 
 // decode reads a bounded JSON body, rejecting unknown fields so a
@@ -328,21 +427,21 @@ func respond(w http.ResponseWriter, src cacheSource, body []byte) {
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var req CheckRequest
 	if err := decode(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	models, err := validModels(req.Models, memmodel.ModelNames())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	named, ofn, err := observer.ParsePairString(req.Pair)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if named.Comp.NumNodes() == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("pair has no nodes"))
+		writeError(w, r, http.StatusBadRequest, errors.New("pair has no nodes"))
 		return
 	}
 	// Content address: the canonical re-rendering of the parsed pair
@@ -350,25 +449,26 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// list, and the effective governance fingerprint.
 	var canon strings.Builder
 	if err := observer.FormatPair(&canon, named, ofn); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	key := Key("check", canon.String(), strings.Join(models, ","), s.cfg.Limits.optionsFingerprint(req.Options))
 
-	body, src, err := s.cache.do(key, func() ([]byte, bool, error) {
+	rec := s.requestRecorder(r)
+	body, src, err := s.cache.do(r.Context(), key, func() ([]byte, bool, error) {
 		release, err := s.adm.admit(r.Context())
 		if err != nil {
 			return nil, false, err
 		}
 		defer release()
 		opts, timeout := s.cfg.Limits.searchOptions(req.Options)
-		opts.Recorder = s.cfg.Recorder
 		ctx, cancel := s.decisionContext(timeout)
 		defer cancel()
 
 		resp := CheckResponse{Results: make([]ModelResult, 0, len(models))}
 		cacheable := true
 		for _, model := range models {
+			opts.Recorder = obs.WithRun(rec, model)
 			d, err := memmodel.DecideByName(ctx, model, named.Comp, ofn, opts)
 			if err != nil { // unreachable: models were validated
 				return nil, false, err
@@ -400,7 +500,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return append(body, '\n'), cacheable, err
 	})
 	if err != nil {
-		s.writeAdmissionError(w, err)
+		s.writeAdmissionError(w, r, err)
 		return
 	}
 	respond(w, src, body)
@@ -409,22 +509,23 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	var req VerifyRequest
 	if err := decode(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	nt, err := trace.ParseTraceString(req.Trace)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	var canon strings.Builder
 	if err := nt.Format(&canon); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	key := Key("verify", canon.String(), s.cfg.Limits.optionsFingerprint(req.Options))
 
-	body, src, err := s.cache.do(key, func() ([]byte, bool, error) {
+	rec := s.requestRecorder(r)
+	body, src, err := s.cache.do(r.Context(), key, func() ([]byte, bool, error) {
 		release, err := s.adm.admit(r.Context())
 		if err != nil {
 			return nil, false, err
@@ -440,7 +541,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 
 		lcOpts := opts
-		lcOpts.Recorder = obs.WithRun(s.cfg.Recorder, "LC")
+		lcOpts.Recorder = obs.WithRun(rec, "LC")
 		lcRes, lcVerdict, lcStats := checker.VerifyLCCtx(ctx, tr, lcOpts)
 		lc := &VerifyResult{Verdict: lcVerdict, Text: checker.VerdictText(lcVerdict), States: lcStats.States}
 		if lcVerdict.In() {
@@ -448,7 +549,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 
 		scOpts := opts
-		scOpts.Recorder = obs.WithRun(s.cfg.Recorder, "SC")
+		scOpts.Recorder = obs.WithRun(rec, "SC")
 		scRes, scVerdict, scStats := checker.VerifySCCtx(ctx, tr, scOpts)
 		sc := &VerifyResult{Verdict: scVerdict, Text: checker.VerdictText(scVerdict), States: scStats.States}
 		if scVerdict.In() {
@@ -466,7 +567,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return append(body, '\n'), cacheable, err
 	})
 	if err != nil {
-		s.writeAdmissionError(w, err)
+		s.writeAdmissionError(w, r, err)
 		return
 	}
 	respond(w, src, body)
@@ -475,11 +576,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	var req EnumerateRequest
 	if err := decode(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.MaxNodes < 0 || req.Locs < 0 {
-		writeError(w, http.StatusBadRequest, errors.New("max_nodes and locs must be non-negative"))
+		writeError(w, r, http.StatusBadRequest, errors.New("max_nodes and locs must be non-negative"))
 		return
 	}
 	n := req.MaxNodes
@@ -496,7 +597,8 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	key := Key("enumerate", strconv.Itoa(n), strconv.Itoa(locs))
 
-	body, src, err := s.cache.do(key, func() ([]byte, bool, error) {
+	rec := s.requestRecorder(r)
+	body, src, err := s.cache.do(r.Context(), key, func() ([]byte, bool, error) {
 		release, err := s.adm.admit(r.Context())
 		if err != nil {
 			return nil, false, err
@@ -509,7 +611,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		// feeds the /statsz symmetry gauges.
 		ctx, cancel := s.decisionContext(s.cfg.Limits.DefaultTimeout)
 		defer cancel()
-		census, err := expt.MembershipCensusReducedObs(ctx, n, locs, workers, s.cfg.Recorder)
+		census, err := expt.MembershipCensusReducedObs(ctx, n, locs, workers, rec)
 		if err != nil {
 			return nil, false, err
 		}
@@ -517,25 +619,38 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return append(body, '\n'), err == nil, err
 	})
 	if err != nil {
-		s.writeAdmissionError(w, err)
+		s.writeAdmissionError(w, r, err)
 		return
 	}
 	respond(w, src, body)
 }
 
+// requestRecorder threads the exchange's request ID into the decision
+// event stream: every run label the handler's fill produces is
+// prefixed with it, so a report or trace line correlates back to the
+// access log. Falls back to the raw recorder when no RequestID
+// middleware wrapped the exchange.
+func (s *Server) requestRecorder(r *http.Request) obs.Recorder {
+	if id := mw.RequestIDFrom(r.Context()); id != "" {
+		return obs.WithRunPrefix(s.cfg.Recorder, id+" ")
+	}
+	return s.cfg.Recorder
+}
+
 // writeAdmissionError distinguishes shed/drain (503) from client
 // aborts while queued (499-style; Go has no constant, use 503 as well
 // but without Retry-After semantics confusion — the client is gone).
-func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+func (s *Server) writeAdmissionError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
-		s.writeUnavailable(w, err)
+		s.writeUnavailable(w, r, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The client gave up while queued; nobody is reading, but
+		// The client gave up (or its exchange deadline fired) while
+		// queued or waiting on a shared fill; nobody may be reading, but
 		// complete the exchange for middleware's sake.
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, r, http.StatusServiceUnavailable, err)
 	default:
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 	}
 }
 
@@ -551,12 +666,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	adm := s.adm.stats()
 	doc := Statsz{
-		UptimeMS:  time.Since(s.start).Milliseconds(),
-		Draining:  adm.Draining,
-		Admission: adm,
-		Cache:     s.cache.stats(),
-		Engine:    s.totals.stats(),
-		Endpoints: make(map[string]EndpointStats, len(s.metrics)),
+		UptimeMS:        time.Since(s.start).Milliseconds(),
+		Draining:        adm.Draining,
+		PanicsRecovered: s.panics.Load(),
+		Admission:       adm,
+		Cache:           s.cache.stats(),
+		Engine:          s.totals.stats(),
+		Runtime:         readRuntimeStats(),
+		Endpoints:       make(map[string]EndpointStats, len(s.metrics)),
 	}
 	for name, m := range s.metrics {
 		doc.Endpoints[name] = m.stats()

@@ -12,12 +12,15 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/computation"
 	"repro/internal/dag"
 	"repro/internal/expt"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -527,4 +530,185 @@ func TestStatszEngineTotals(t *testing.T) {
 	if st.Engine.States <= 0 {
 		t.Errorf("engine.states = %d, want > 0", st.Engine.States)
 	}
+}
+
+// ---- middleware armor ----------------------------------------------
+
+// TestRetryAfterRounding: sub-second RetryAfter hints must round UP to
+// a whole second — a "Retry-After: 0" tells clients to hammer a server
+// that just shed them.
+func TestRetryAfterRounding(t *testing.T) {
+	cases := []struct {
+		hint time.Duration
+		want string
+	}{
+		{300 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{0, "1"}, // config default
+	}
+	for _, tc := range cases {
+		s := New(Config{RetryAfter: tc.hint})
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/v1/check", nil)
+		s.writeUnavailable(w, r, ErrOverloaded)
+		if got := w.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("RetryAfter %v rendered %q, want %q", tc.hint, got, tc.want)
+		}
+		if got := w.Header().Get("Retry-After"); got == "0" {
+			t.Errorf("RetryAfter %v rendered the poisonous 0", tc.hint)
+		}
+	}
+}
+
+// panicOnceRecorder panics on the first RunStart it sees — injected
+// through Config.Recorder it makes the first decision blow up inside
+// the handler, on the request goroutine, like a real decision-path bug
+// would.
+type panicOnceRecorder struct{ fired atomic.Bool }
+
+func (p *panicOnceRecorder) Record(ev obs.Event) {
+	if ev.Kind == obs.RunStart && p.fired.CompareAndSwap(false, true) {
+		panic("injected decision panic")
+	}
+}
+
+// TestPanicRecoveryKeepsServing is the regression for the naked-panic
+// failure mode: a panicking decision must come back as a 500 carrying
+// a request ID (header and body), count in /statsz, and leave the
+// server fully serving — the same query succeeds on retry because the
+// panic-failed flight was cleaned up.
+func TestPanicRecoveryKeepsServing(t *testing.T) {
+	rec := &panicOnceRecorder{}
+	s, ts := testServer(t, Config{CacheBytes: 1 << 20, Recorder: rec})
+	req := CheckRequest{Pair: readTestdata(t, "figure2.ccm")}
+
+	resp, data := postJSON(t, ts.URL+"/v1/check", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking decision returned %d, want 500; body %s", resp.StatusCode, data)
+	}
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("500 response carries no X-Request-Id")
+	}
+	if !strings.Contains(string(data), id) {
+		t.Errorf("500 body %s does not echo the request id %s", data, id)
+	}
+
+	// The server keeps serving: the identical query now succeeds (the
+	// panicked flight did not wedge the key) and the panic is counted.
+	resp2, data2 := postJSON(t, ts.URL+"/v1/check", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry after panic returned %d: %s", resp2.StatusCode, data2)
+	}
+	got := checkVerdicts(t, data2)
+	if got["SC"].Verdict.String() != "OUT" {
+		t.Errorf("retry verdict SC = %s, want OUT", got["SC"].Verdict)
+	}
+	st := statsz(t, ts.URL)
+	if st.PanicsRecovered != 1 {
+		t.Errorf("statsz panics_recovered = %d, want 1", st.PanicsRecovered)
+	}
+	if st.Endpoints["check"].InFlight != 0 {
+		t.Errorf("in_flight stuck at %d after a recovered panic", st.Endpoints["check"].InFlight)
+	}
+	if st.Endpoints["check"].Errors < 1 {
+		t.Errorf("recovered panic not counted as an endpoint error: %+v", st.Endpoints["check"])
+	}
+	_ = s
+}
+
+// TestRequestIDOnEveryResponse: every response — success, client
+// error, health probe — carries a request ID, inbound ids are
+// propagated, and error bodies echo them.
+func TestRequestIDOnEveryResponse(t *testing.T) {
+	_, ts := testServer(t, Config{CacheBytes: 1 << 20})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("healthz response carries no request id")
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/check", CheckRequest{Pair: readTestdata(t, "figure2.ccm")})
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Request-Id") == "" {
+		t.Errorf("check response (%d) carries no request id", resp.StatusCode)
+	}
+	_ = data
+
+	// Inbound id propagated, echoed in the error body.
+	reqBody := strings.NewReader(`{"pair":"locs x\nnode A FLY(x)"}`)
+	hr, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/check", reqBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("X-Request-Id", "caller-supplied-42")
+	resp, err = http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad pair = %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-supplied-42" {
+		t.Errorf("inbound id not propagated: header %q", got)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil || e.RequestID != "caller-supplied-42" {
+		t.Errorf("error body %s does not echo the inbound request id", data)
+	}
+}
+
+// TestStatszRuntime: the process-health block the soak harness samples
+// for watermarks is populated.
+func TestStatszRuntime(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	st := statsz(t, ts.URL)
+	if st.Runtime.Goroutines <= 0 {
+		t.Errorf("runtime.goroutines = %d, want > 0", st.Runtime.Goroutines)
+	}
+	if st.Runtime.HeapAllocBytes <= 0 || st.Runtime.HeapSysBytes <= 0 {
+		t.Errorf("runtime heap gauges empty: %+v", st.Runtime)
+	}
+}
+
+// TestAccessLogWired: with Config.AccessLog set, each exchange logs
+// one structured line carrying its request id and status.
+func TestAccessLogWired(t *testing.T) {
+	var buf syncLogBuffer
+	_, ts := testServer(t, Config{AccessLog: &buf})
+	resp, _ := postJSON(t, ts.URL+"/v1/check", CheckRequest{Pair: readTestdata(t, "figure2.ccm")})
+	id := resp.Header.Get("X-Request-Id")
+	log := buf.String()
+	if !strings.Contains(log, "path=/v1/check") || !strings.Contains(log, "status=200") {
+		t.Errorf("access log %q missing exchange fields", log)
+	}
+	if id == "" || !strings.Contains(log, "id="+id) {
+		t.Errorf("access log %q does not carry the request id %q", log, id)
+	}
+}
+
+// syncLogBuffer is a concurrency-safe strings.Builder for access-log
+// assertions.
+type syncLogBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncLogBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncLogBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

@@ -7,6 +7,12 @@
 # is written to benchmarks/BENCH_search.json (every latest benchmark,
 # base/latest/delta per metric, and the regression list).
 #
+# Also compares the service-level soak trajectory
+# (benchmarks/BENCH_serve.json from cmd/soak) against
+# benchmarks/serve-baseline.json when both exist — per-endpoint p99,
+# threshold SERVE_MAX_P99_REGRESSION_PCT (default 50) — and skips
+# gracefully when either is missing.
+#
 # Self-contained (awk only): no benchstat dependency. Compare runs on
 # the same goos/goarch/CPU as the baseline to avoid false regressions.
 set -euo pipefail
@@ -17,6 +23,54 @@ LATEST="benchmarks/latest.txt"
 JSON_OUT="${BENCH_JSON_OUT:-benchmarks/BENCH_search.json}"
 THRESHOLD="${BENCH_MAX_REGRESSION_PCT:-5}"
 ALLOC_THRESHOLD="${BENCH_MAX_ALLOC_REGRESSION_PCT:-$THRESHOLD}"
+
+SERVE_LATEST="${SERVE_BENCH_JSON:-benchmarks/BENCH_serve.json}"
+SERVE_BASELINE="benchmarks/serve-baseline.json"
+SERVE_THRESHOLD="${SERVE_MAX_P99_REGRESSION_PCT:-50}"
+
+# Service-level trajectory: compare the soak harness's per-endpoint
+# p99 against a promoted baseline. Latency under load is far noisier
+# than ns/op microbenchmarks, so the default threshold is generous.
+# Either file missing is a graceful skip — the soak gate itself
+# (scripts/soak-smoke.sh) still enforces absolute health.
+if [ ! -f "$SERVE_LATEST" ]; then
+  echo "no $SERVE_LATEST; skipping serve trajectory compare"
+elif [ ! -f "$SERVE_BASELINE" ]; then
+  echo "no serve baseline ($SERVE_BASELINE); skipping serve trajectory compare"
+  echo "  (promote one with: cp $SERVE_LATEST $SERVE_BASELINE)"
+else
+  if awk -v thr="$SERVE_THRESHOLD" '
+    # Pull "endpoints": { "name": { ... "p99_ms": X ... } } pairs out
+    # of the indented soak JSON: a two-space-indented quoted key opens
+    # an endpoint object, and the next p99_ms belongs to it.
+    /^    "[a-z]+": {/ {
+      gsub(/[":{ ]/, "", $1); ep = $1
+    }
+    /"p99_ms":/ && ep != "" {
+      v = $2; gsub(/,/, "", v)
+      if (FILENAME == ARGV[1]) base[ep] = v; else latest[ep] = v
+      ep = ""
+    }
+    END {
+      fail = 0
+      for (e in latest) {
+        if (!(e in base) || base[e] + 0 == 0) continue
+        delta = (latest[e] - base[e]) / base[e] * 100
+        printf("serve %-12s p99 %10.3fms -> %10.3fms  %+7.1f%%\n", e, base[e], latest[e], delta)
+        if (delta > thr) {
+          printf("REGRESSION serve p99 > %s%%: %s\n", thr, e) > "/dev/stderr"
+          fail = 1
+        }
+      }
+      exit fail
+    }
+  ' "$SERVE_BASELINE" "$SERVE_LATEST"; then
+    :
+  else
+    echo "serve trajectory regressed; see above" >&2
+    exit 1
+  fi
+fi
 
 if [ ! -f "$BASELINE" ] || ! grep -q '^Benchmark' "$BASELINE"; then
   echo "baseline missing or empty; skipping compare"
