@@ -5,10 +5,15 @@
 //	ccmd -addr localhost:8080
 //
 //	POST /v1/check      (computation, observer) pair -> per-model verdicts
+//	POST /v1/batch      many (pair, model, frontier shard) items -> per-item verdicts
 //	POST /v1/verify     executed trace -> LC/SC explainability + witnesses
 //	POST /v1/enumerate  universe bounds -> membership census
 //	GET  /healthz       liveness ("ok" / 503 "draining")
 //	GET  /statsz        queue, cache, and per-endpoint gauges as JSON
+//
+// /v1/batch is the fleet transport: cmd/fleetctl shards the SC root
+// frontier across many ccmd replicas and merges the shard verdicts
+// back into the single-box answer (see internal/fleet).
 //
 // Request bodies are JSON wrapping the same text formats the CLIs
 // read, and verdicts come back in the same spelling the CLIs print —

@@ -267,6 +267,28 @@ func (p *picker) next() (endpoint string, body []byte) {
 	return endpoint, bodies[p.rng.Intn(len(bodies))]
 }
 
+// retryAfterDelay decodes a 503's Retry-After hint — integer seconds
+// or an HTTP date — clamped to [0, 5s] so a confused server cannot
+// stall a load worker for the whole run. Absent or malformed hints
+// yield a minimal 100ms pause: the shed itself says "back off".
+func retryAfterDelay(h string, now func() time.Time) time.Duration {
+	d := 100 * time.Millisecond
+	if h != "" {
+		if secs, err := strconv.Atoi(h); err == nil {
+			d = time.Duration(secs) * time.Second
+		} else if t, err := http.ParseTime(h); err == nil {
+			d = t.Sub(now())
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
 // statsz fetches the target's gauge document.
 func statsz(client *http.Client, target string) (serve.Statsz, error) {
 	var st serve.Statsz
@@ -388,6 +410,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				aggs[endpoint].record(time.Since(t0), resp.StatusCode, resp.Header.Get("X-Request-Id") != "")
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					// Honor the shed hint: hammering through a 503 just
+					// measures the admission queue's rejection path. The
+					// wait still respects the load deadline.
+					if d := retryAfterDelay(resp.Header.Get("Retry-After"), time.Now); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-loadCtx.Done():
+						}
+					}
+				}
 			}
 		}(int64(i) + 1)
 	}

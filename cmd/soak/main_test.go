@@ -164,3 +164,23 @@ func TestPercentile(t *testing.T) {
 		t.Errorf("empty percentile = %v, want 0", got)
 	}
 }
+
+func TestRetryAfterDelay(t *testing.T) {
+	now := func() time.Time { return time.Unix(1_700_000_000, 0).UTC() }
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 100 * time.Millisecond},        // shed without a hint: minimal pause
+		{"2", 2 * time.Second},              // integer seconds
+		{"9999", 5 * time.Second},           // clamped to the worker ceiling
+		{"garbage", 100 * time.Millisecond}, // malformed: minimal pause
+		{now().Add(3 * time.Second).Format("Mon, 02 Jan 2006 15:04:05 GMT"), 3 * time.Second},
+		{now().Add(-time.Hour).Format("Mon, 02 Jan 2006 15:04:05 GMT"), 0}, // past date: no wait
+	}
+	for _, c := range cases {
+		if got := retryAfterDelay(c.in, now); got != c.want {
+			t.Errorf("retryAfterDelay(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-replica health tracking: a three-state circuit breaker in the
+// classic closed → open → half-open cycle. Consecutive hard failures
+// (connection refused, 5xx other than shed, corrupt responses) open
+// the breaker; an open breaker rejects dispatch until its cooldown
+// expires, then admits exactly one half-open probe — success closes
+// the circuit, failure re-opens it for another cooldown. 503 shed
+// responses are deliberately NOT failures: a shedding replica is
+// healthy and busy, and opening on shed would amplify load spikes into
+// fleet-wide outages. The clock is injectable so every transition is
+// unit-testable without sleeping.
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int // consecutive hard failures while closed
+	threshold int // fails that open the circuit
+	cooldown  time.Duration
+	until     time.Time // open state expires here
+	probing   bool      // the half-open probe slot is taken
+	now       func() time.Time
+	// onFlip observes state transitions (for BreakerFlip events);
+	// called outside the lock's critical work but within the mutex to
+	// keep flips ordered. May be nil.
+	onFlip func(state string)
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onFlip func(string)) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, onFlip: onFlip}
+}
+
+func (b *breaker) flip(s breakerState) {
+	b.state = s
+	if b.onFlip != nil {
+		b.onFlip(s.String())
+	}
+}
+
+// allow reports whether a dispatch to this replica may proceed. An
+// expired open breaker transitions to half-open and grants the single
+// probe slot to the first caller.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.flip(breakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed exchange: the circuit closes and the
+// failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.flip(breakerClosed)
+	}
+}
+
+// failure records a hard failure. While closed it extends the streak
+// and opens the circuit at the threshold; a failed half-open probe
+// re-opens immediately.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.until = b.now().Add(b.cooldown)
+			b.flip(breakerOpen)
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		b.until = b.now().Add(b.cooldown)
+		b.flip(breakerOpen)
+	case breakerOpen:
+		// A straggler from before the open; the circuit is already open.
+	}
+}
+
+// shed records a 503: the replica is alive but saturated. The streak
+// is untouched — shed is backpressure, not sickness — but a half-open
+// probe answering 503 still proves liveness, so it closes the circuit.
+func (b *breaker) shed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		b.fails = 0
+		b.probing = false
+		b.flip(breakerClosed)
+	}
+}
+
+// nextAllow returns the earliest instant allow can grant a dispatch:
+// the open deadline, or the zero time when the breaker already admits.
+func (b *breaker) nextAllow() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		return b.until
+	}
+	return time.Time{}
+}
+
+// snapshot returns the current state for reports.
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

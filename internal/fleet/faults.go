@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Transport-level fault injection in the internal/chaos idiom: an
+// explicit plan of typed events, each fired at most once against the
+// first matching exchange, with a fired-event log for assertions. The
+// plan itself is never mutated, so one plan can drive many transports,
+// and a recorded plan replays the same faults against the same request
+// sequence. The fleet's own tests and cmd/fleetctl's use it to prove
+// retry, hedge, breaker, and degrade behavior without real network
+// failures.
+
+// FaultKind enumerates the transport faults.
+type FaultKind string
+
+const (
+	// FaultDrop fails the exchange with a transport error before it
+	// reaches the replica — indistinguishable from a dead process.
+	FaultDrop FaultKind = "drop"
+	// FaultDelay holds the request for Delay before forwarding it —
+	// a straggler, the hedge trigger.
+	FaultDelay FaultKind = "delay"
+	// FaultCorrupt forwards the exchange but truncates the response
+	// body mid-JSON — a torn response the coordinator must reject.
+	FaultCorrupt FaultKind = "corrupt"
+	// Fault500 synthesizes a 500 without reaching the replica.
+	Fault500 FaultKind = "500"
+	// Fault503 synthesizes a shed (503 + Retry-After) without reaching
+	// the replica.
+	Fault503 FaultKind = "503"
+)
+
+// FaultEvent is one planned fault. An event matches an exchange when
+// the request URL contains Replica (empty = any) and Skip earlier
+// matching exchanges have already passed it by.
+type FaultEvent struct {
+	Kind FaultKind
+	// Replica selects requests whose URL contains this substring
+	// (typically a replica's base URL; empty matches every request).
+	Replica string
+	// Skip arms the event only after this many matching exchanges have
+	// been seen (0 = fire on the first match).
+	Skip int
+	// Delay is the hold time for FaultDelay.
+	Delay time.Duration
+	// RetryAfter is the Retry-After hint in seconds for Fault503
+	// (0 = header omitted).
+	RetryAfter int
+}
+
+// FaultPlan is an ordered list of fault events. Earlier events get
+// first claim on a matching exchange.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// FaultTransport wraps an http.RoundTripper with a fault plan. It is
+// safe for the concurrent exchanges a dispatch round produces.
+type FaultTransport struct {
+	inner http.RoundTripper
+
+	mu    sync.Mutex
+	plan  *FaultPlan
+	fired []bool
+	seen  []int // matching exchanges observed per event, for Skip
+}
+
+// NewFaultTransport binds a plan to an inner transport (nil inner
+// means http.DefaultTransport; nil plan means no faults).
+func NewFaultTransport(plan *FaultPlan, inner http.RoundTripper) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if plan == nil {
+		plan = &FaultPlan{}
+	}
+	return &FaultTransport{
+		inner: inner,
+		plan:  plan,
+		fired: make([]bool, len(plan.Events)),
+		seen:  make([]int, len(plan.Events)),
+	}
+}
+
+// claim finds the first unfired event matching the URL, honoring each
+// event's Skip count, and marks it fired.
+func (t *FaultTransport) claim(url string) (FaultEvent, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, e := range t.plan.Events {
+		if t.fired[i] {
+			continue
+		}
+		if e.Replica != "" && !strings.Contains(url, e.Replica) {
+			continue
+		}
+		if t.seen[i] < e.Skip {
+			t.seen[i]++
+			continue
+		}
+		t.fired[i] = true
+		return e, true
+	}
+	return FaultEvent{}, false
+}
+
+// RoundTrip applies at most one planned fault to the exchange.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	e, ok := t.claim(req.URL.String())
+	if !ok {
+		return t.inner.RoundTrip(req)
+	}
+	switch e.Kind {
+	case FaultDrop:
+		return nil, &droppedError{url: req.URL.String()}
+	case FaultDelay:
+		select {
+		case <-time.After(e.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.inner.RoundTrip(req)
+	case FaultCorrupt:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(data) > 2 {
+			data = data[:len(data)/2] // torn mid-body: no longer valid JSON
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		resp.ContentLength = int64(len(data))
+		return resp, nil
+	case Fault500:
+		return synthesize(req, http.StatusInternalServerError, nil, "injected 500"), nil
+	case Fault503:
+		h := http.Header{}
+		if e.RetryAfter > 0 {
+			h.Set("Retry-After", strconv.Itoa(e.RetryAfter))
+		}
+		return synthesize(req, http.StatusServiceUnavailable, h, "injected shed"), nil
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// Fired reports, per plan event, whether it has fired.
+func (t *FaultTransport) Fired() []bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]bool(nil), t.fired...)
+}
+
+// AllFired reports whether every planned event fired. Unfired events
+// are dead weight in a fault plan — the scenario did not exercise them.
+func (t *FaultTransport) AllFired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, f := range t.fired {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// droppedError is the transport error FaultDrop synthesizes.
+type droppedError struct{ url string }
+
+func (e *droppedError) Error() string { return "injected drop: " + e.url }
+
+// synthesize builds an in-memory response for faults that never reach
+// the replica.
+func synthesize(req *http.Request, status int, h http.Header, body string) *http.Response {
+	if h == nil {
+		h = http.Header{}
+	}
+	return &http.Response{
+		StatusCode:    status,
+		Status:        http.StatusText(status),
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+	}
+}
+
+var _ http.RoundTripper = (*FaultTransport)(nil)

@@ -63,6 +63,14 @@ func validRequestID(id string) bool {
 	return true
 }
 
+// NewRequestID returns a fresh correlation id in the format the
+// RequestID middleware accepts verbatim, for clients that originate
+// X-Request-Id themselves — the fleet coordinator stamps one id per
+// shard dispatch so a shard correlates across the coordinator's obs
+// stream and every replica's access log, including retries and hedges
+// of the same shard on different replicas.
+func NewRequestID() string { return newRequestID() }
+
 // idSeq backs the (never expected) fallback when crypto/rand fails.
 var idSeq atomic.Int64
 

@@ -77,6 +77,26 @@ const (
 	// (endpoint and request ID), Str (the panic value followed by the
 	// goroutine stack).
 	PanicRecovered
+	// ShardSent: the fleet coordinator dispatched a shard batch to a
+	// replica. Fields: Run, Worker (replica index), Root (first shard
+	// index in the batch), Total (shards in the batch), N (attempt,
+	// 1-based).
+	ShardSent
+	// ShardRetry: a shard batch attempt failed and was requeued for
+	// backoff. Fields: Run, Worker (replica index), Root, N (the failed
+	// attempt, 1-based), Str (cause).
+	ShardRetry
+	// ShardHedge: a straggling shard batch was re-dispatched to a second
+	// replica while the first attempt was still in flight. Fields: Run,
+	// Worker (hedge replica index), Root.
+	ShardHedge
+	// ShardDone: a shard batch resolved. Fields: Run, Worker (replica
+	// that answered, -1 when none did), Root, Str ("ok" or "lost" —
+	// lost shards degrade the merged verdict to INCONCLUSIVE(fleet)).
+	ShardDone
+	// BreakerFlip: a replica's circuit breaker changed state. Fields:
+	// Run, Worker (replica index), Str ("open", "half-open", "closed").
+	BreakerFlip
 
 	numKinds
 )
@@ -95,6 +115,11 @@ var kindNames = [numKinds]string{
 	PlanDone:       "plan-done",
 	WorkerDone:     "worker-done",
 	PanicRecovered: "panic-recovered",
+	ShardSent:      "shard-sent",
+	ShardRetry:     "shard-retry",
+	ShardHedge:     "shard-hedge",
+	ShardDone:      "shard-done",
+	BreakerFlip:    "breaker-flip",
 }
 
 // String returns the stable spelling of the kind (used in trace

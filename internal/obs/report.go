@@ -69,6 +69,14 @@ type EventCounts struct {
 	// PanicsRecovered counts handler panics the serving stack's
 	// recovery middleware turned into completed 500 exchanges.
 	PanicsRecovered int64 `json:"panics_recovered"`
+	// Fleet-dispatch counters: shard batch attempts that failed and
+	// were requeued, hedged re-dispatches, shards abandoned after
+	// retries exhausted (each one degrades the merged verdict), and
+	// replica circuit-breaker state changes.
+	ShardRetries int64 `json:"shard_retries"`
+	ShardHedges  int64 `json:"shard_hedges"`
+	ShardsLost   int64 `json:"shards_lost"`
+	BreakerFlips int64 `json:"breaker_flips"`
 }
 
 // ReportCollector is the recorder behind -report: it folds the event
@@ -134,6 +142,16 @@ func (c *ReportCollector) Record(ev Event) {
 		}
 	case PanicRecovered:
 		c.rep.Events.PanicsRecovered++
+	case ShardRetry:
+		c.rep.Events.ShardRetries++
+	case ShardHedge:
+		c.rep.Events.ShardHedges++
+	case ShardDone:
+		if ev.Str == "lost" {
+			c.rep.Events.ShardsLost++
+		}
+	case BreakerFlip:
+		c.rep.Events.BreakerFlips++
 	}
 }
 

@@ -428,31 +428,13 @@ func Run(spec Spec, opts Options) Result {
 	return RunContext(context.Background(), spec, opts)
 }
 
-// RunContext is Run under a context: cancellation and deadline expiry
-// stop the search promptly (workers poll on the cancelMask tick) and
-// surface as an inconclusive result — Exhausted false, Stop recording
-// which governor fired. A witness found before the stop is kept: Found
-// results are definitive even under a cancelled context. RunContext
-// never leaks goroutines; it returns only after every worker has
-// stopped.
-func RunContext(ctx context.Context, spec Spec, opts Options) Result {
-	if err := ctx.Err(); err != nil {
-		// Already cancelled: don't even compile.
-		return Result{Stop: ctxStopReason(err)}
-	}
-	rec := opts.Recorder
-	p := compile(spec)
-	if p.unsat {
-		// Static filtering emptied some candidate set: no sort exists.
-		return trivialResult(rec, Result{Exhausted: true})
-	}
-	if p.n == 0 {
-		return trivialResult(rec, Result{Order: []dag.Node{}, Found: true, Exhausted: true})
-	}
-
-	// The admissible first-choice frontier, in node order. At the root
-	// every slot's last writer is ⊥, so a node is admissible iff all of
-	// its constraint sets contain ⊥.
+// frontier returns the admissible first-choice roots of a compiled
+// problem, in node order. At the root every slot's last writer is ⊥,
+// so a node is admissible iff all of its constraint sets contain ⊥.
+// The order is deterministic, which is what makes frontier indices a
+// meaningful shard coordinate across processes: every replica that
+// compiles the same Spec sees the same frontier.
+func frontier(p *problem) []dag.Node {
 	var roots []dag.Node
 	for u := 0; u < p.n; u++ {
 		if p.indeg0[u] != 0 {
@@ -469,9 +451,75 @@ func RunContext(ctx context.Context, spec Spec, opts Options) Result {
 			roots = append(roots, dag.Node(u))
 		}
 	}
-	if len(roots) == 0 {
-		return trivialResult(rec, Result{Exhausted: true, Stats: Stats{States: 1}})
+	return roots
+}
+
+// Frontier is the exported shard plan: it compiles spec and returns
+// the size of its admissible root frontier — the same split the
+// parallel engine fans workers over, and the unit a fleet coordinator
+// partitions into RootLo/RootHi shards. When the question resolves
+// statically without any search (static unsat filtering, the empty
+// problem, an empty frontier), Frontier returns 0 and the non-nil
+// Result a full Run would return, so planners can short-circuit
+// instead of dispatching shards of nothing.
+func Frontier(spec Spec) (int, *Result) {
+	p := compile(spec)
+	if p.unsat {
+		return 0, &Result{Exhausted: true, WitnessRoot: -1}
 	}
+	if p.n == 0 {
+		return 0, &Result{Order: []dag.Node{}, Found: true, Exhausted: true, WitnessRoot: -1}
+	}
+	roots := frontier(p)
+	if len(roots) == 0 {
+		return 0, &Result{Exhausted: true, WitnessRoot: -1, Stats: Stats{States: 1}}
+	}
+	return len(roots), nil
+}
+
+// RunContext is Run under a context: cancellation and deadline expiry
+// stop the search promptly (workers poll on the cancelMask tick) and
+// surface as an inconclusive result — Exhausted false, Stop recording
+// which governor fired. A witness found before the stop is kept: Found
+// results are definitive even under a cancelled context. RunContext
+// never leaks goroutines; it returns only after every worker has
+// stopped.
+func RunContext(ctx context.Context, spec Spec, opts Options) Result {
+	if err := ctx.Err(); err != nil {
+		// Already cancelled: don't even compile.
+		return Result{Stop: ctxStopReason(err), WitnessRoot: -1}
+	}
+	rec := opts.Recorder
+	p := compile(spec)
+	if p.unsat {
+		// Static filtering emptied some candidate set: no sort exists.
+		return trivialResult(rec, Result{Exhausted: true, WitnessRoot: -1})
+	}
+	if p.n == 0 {
+		return trivialResult(rec, Result{Order: []dag.Node{}, Found: true, Exhausted: true, WitnessRoot: -1})
+	}
+
+	roots := frontier(p)
+	if len(roots) == 0 {
+		return trivialResult(rec, Result{Exhausted: true, WitnessRoot: -1, Stats: Stats{States: 1}})
+	}
+	total := len(roots)
+
+	// Shard restriction: clamp [RootLo, RootHi) onto the frontier. An
+	// empty slice is a vacuously exhausted shard — no roots explored, no
+	// witness, definitively Out *within the shard*.
+	lo, hi := opts.RootLo, opts.RootHi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi <= 0 || hi > total {
+		hi = total
+	}
+	sharded := lo > 0 || hi < total
+	if lo >= hi {
+		return trivialResult(rec, Result{Exhausted: true, WitnessRoot: -1, Stats: Stats{Roots: total}})
+	}
+	roots = roots[lo:hi]
 
 	workers := opts.Workers
 	auto := workers == 0
@@ -484,6 +532,9 @@ func RunContext(ctx context.Context, spec Spec, opts Options) Result {
 	if workers > len(roots) {
 		workers = len(roots)
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	chunk := int64(budgetChunk)
 	if workers <= 1 {
 		chunk = 1
@@ -493,10 +544,26 @@ func RunContext(ctx context.Context, spec Spec, opts Options) Result {
 		obs.Emit(rec, obs.Event{Kind: obs.RunStart, Total: len(roots), N: opts.Budget, Live: sh.live})
 	}
 	var res Result
-	if workers <= 1 {
+	if workers <= 1 && !sharded {
 		res = runSerial(p, sh, opts, len(roots))
 	} else {
-		res = runParallel(p, sh, opts, roots, workers)
+		// A sharded run always takes the per-root path, even with one
+		// worker: the serial whole-tree engine cannot skip frontier
+		// branches, and per-root exploration is exactly what the
+		// parallel determinism argument covers — so a shard's witness
+		// for root r matches the unsharded run's witness for root r.
+		res = runParallel(p, sh, opts, roots, workers, lo)
+	}
+	res.Stats.Roots = total
+	res.WitnessRoot = -1
+	if res.Found && len(res.Order) > 0 {
+		// Order[0] is the chosen root; report its global frontier index.
+		for i, r := range roots {
+			if r == res.Order[0] {
+				res.WitnessRoot = lo + i
+				break
+			}
+		}
 	}
 	if rec != nil {
 		obs.Emit(rec, obs.Event{Kind: obs.RunEnd, Str: res.Verdict().String(), Stats: obsStats(res.Stats)})
@@ -545,7 +612,10 @@ type rootOutcome struct {
 	done bool
 }
 
-func runParallel(p *problem, sh *shared, opts Options, roots []dag.Node, workers int) Result {
+// runParallel explores roots with per-root engines. rootOff is the
+// global frontier index of roots[0], so shard runs report root events
+// in frontier coordinates.
+func runParallel(p *problem, sh *shared, opts Options, roots []dag.Node, workers int, rootOff int) Result {
 	// The memo cap is per run; each worker's private table gets an
 	// equal share so the sum respects Options.MaxMemoBytes.
 	memoCap := opts.MaxMemoBytes
@@ -577,13 +647,13 @@ func runParallel(p *problem, sh *shared, opts Options, roots []dag.Node, workers
 				// root's outcome cannot win, skip it.
 				if sh.bestRoot.Load() < r {
 					if sh.rec != nil {
-						obs.Emit(sh.rec, obs.Event{Kind: obs.RootSkipped, Worker: w, Root: int(r)})
+						obs.Emit(sh.rec, obs.Event{Kind: obs.RootSkipped, Worker: w, Root: rootOff + int(r)})
 						sh.live.Done.Add(1)
 					}
 					continue
 				}
 				if sh.rec != nil {
-					obs.Emit(sh.rec, obs.Event{Kind: obs.RootClaimed, Worker: w, Root: int(r)})
+					obs.Emit(sh.rec, obs.Event{Kind: obs.RootClaimed, Worker: w, Root: rootOff + int(r)})
 				}
 				e.reset()
 				e.myRoot = r
@@ -608,7 +678,7 @@ func runParallel(p *problem, sh *shared, opts Options, roots []dag.Node, workers
 					case stFail:
 						outcome = "exhausted"
 					}
-					obs.Emit(sh.rec, obs.Event{Kind: obs.RootFinished, Worker: w, Root: int(r), Str: outcome})
+					obs.Emit(sh.rec, obs.Event{Kind: obs.RootFinished, Worker: w, Root: rootOff + int(r), Str: outcome})
 					sh.live.Done.Add(1)
 				}
 			}

@@ -89,6 +89,18 @@ type Options struct {
 	// The answer is identical either way; the flag exists for
 	// differential tests and for measuring the pruning's effect.
 	DisableSleep bool
+	// RootLo and RootHi restrict the run to the contiguous slice
+	// [RootLo, RootHi) of the admissible root frontier (see Frontier) —
+	// the distributed analogue of parallel root splitting: a fleet
+	// coordinator partitions the frontier into shards, ships each range
+	// to a replica, and merges shard results by the lowest-witness-root
+	// rule, which reproduces exactly the verdict and witness of an
+	// unsharded run. RootHi == 0 means "through the end"; both zero
+	// (the default) runs the whole frontier. A shard that excludes every
+	// root is vacuously exhausted (Out). Sharded runs always take the
+	// per-root exploration path, so a shard's witness for root r is
+	// byte-identical to what an unsharded run would find under r.
+	RootLo, RootHi int
 	// Recorder receives run-level observability events: run start/end,
 	// root claimed/skipped/finished, governor fired, memo freeze, and a
 	// per-worker counter flush at exit. nil (the default) disables all
@@ -112,7 +124,7 @@ type Stats struct {
 	// their subtrees were proven witness-free by an earlier sibling
 	// exploration of a commuting placement.
 	SleepSetPruned int64
-	Roots          int // admissible first-choice branches
+	Roots          int // admissible first-choice branches (whole frontier, even under a shard)
 	Workers        int // workers actually used
 }
 
@@ -140,8 +152,15 @@ type Result struct {
 	// Stop records the first governor that halted a non-exhaustive run
 	// (StopNone on definitive results). Fold with Verdict() for the
 	// three-valued In/Out/Inconclusive view.
-	Stop  StopReason
-	Stats Stats
+	Stop StopReason
+	// WitnessRoot is the frontier index (see Frontier; global even under
+	// a RootLo/RootHi shard) of the root below which Order was found, or
+	// -1 when there is no witness or the witness is the empty order. The
+	// fleet merge uses it to pick the canonical witness across shards:
+	// the lowest witness root wins, exactly as in-process root splitting
+	// picks it.
+	WitnessRoot int
+	Stats       Stats
 }
 
 // Spec describes a constrained topological-sort search. Locations are

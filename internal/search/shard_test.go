@@ -1,0 +1,308 @@
+package search_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+	"repro/internal/search"
+)
+
+// Shard differential tests: running the frontier in contiguous
+// RootLo/RootHi slices and merging by the lowest-witness-root rule
+// must reproduce the unsharded run exactly — same verdict, same
+// witness bytes. This is the property the fleet coordinator's
+// byte-identity guarantee rests on.
+
+// lwSpec mirrors memmodel's last-writer spec over all locations: node
+// u may be placed only if each location's current last writer equals
+// o's answer for u.
+func lwSpec(c *computation.Computation, o *observer.Observer) search.Spec {
+	n := c.NumNodes()
+	numLocs := c.NumLocs()
+	vals := make([]dag.Node, numLocs*n)
+	return search.Spec{
+		Dag:      c.Dag(),
+		Closure:  c.Closure(),
+		NumSlots: numLocs,
+		WriteSlot: func(u dag.Node) int {
+			if op := c.Op(u); op.Kind == computation.Write {
+				return int(op.Loc)
+			}
+			return -1
+		},
+		Allowed: func(s int, u dag.Node) ([]dag.Node, bool) {
+			i := s*n + int(u)
+			vals[i] = o.Get(computation.Loc(s), u)
+			return vals[i : i+1 : i+1], true
+		},
+	}
+}
+
+// mergeShards applies the fleet merge rule to per-shard results: the
+// lowest witness root wins; otherwise all-exhausted means Out.
+func mergeShards(results []search.Result) search.Result {
+	best := -1
+	for i, r := range results {
+		if !r.Found {
+			continue
+		}
+		if best == -1 || r.WitnessRoot < results[best].WitnessRoot {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return results[best]
+	}
+	merged := search.Result{Exhausted: true, WitnessRoot: -1}
+	for _, r := range results {
+		if !r.Exhausted {
+			merged.Exhausted = false
+			merged.Stop = r.Stop
+			break
+		}
+	}
+	return merged
+}
+
+// shardRuns runs spec once per contiguous shard of the given cut
+// points (cuts = sorted interior boundaries over [0, total)).
+func shardRuns(spec search.Spec, total int, cuts []int) []search.Result {
+	bounds := append([]int{0}, cuts...)
+	bounds = append(bounds, total)
+	var out []search.Result
+	for i := 0; i+1 < len(bounds); i++ {
+		out = append(out, search.Run(spec, search.Options{
+			Workers: 1, RootLo: bounds[i], RootHi: bounds[i+1],
+		}))
+	}
+	return out
+}
+
+func sameOrder(a, b []dag.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickShardUnionMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	found, excluded, multiRoot := 0, 0, 0
+	for trial := 0; trial < 50; trial++ {
+		c := randomComputation(rng, 7, 2)
+		for _, o := range sampleObservers(c, 8) {
+			spec := lwSpec(c, o)
+			full := search.Run(spec, search.Options{Workers: 1})
+			total, triv := search.Frontier(spec)
+			if triv != nil {
+				// Statically resolved: the trivial result must match the
+				// full run's verdict and witness.
+				if triv.Found != full.Found || triv.Exhausted != full.Exhausted || !sameOrder(triv.Order, full.Order) {
+					t.Fatalf("Frontier trivial %+v, full run %+v", triv, full)
+				}
+				continue
+			}
+			if total < 1 {
+				t.Fatalf("Frontier returned %d with nil result", total)
+			}
+			if full.Stats.Roots != total {
+				t.Fatalf("full run Roots = %d, Frontier says %d", full.Stats.Roots, total)
+			}
+			if total > 1 {
+				multiRoot++
+			}
+			// Sweep split shapes: one shard per root, a random 2-way cut,
+			// and (when possible) a random 3-way cut.
+			var shapes [][]int
+			perRoot := make([]int, 0, total-1)
+			for i := 1; i < total; i++ {
+				perRoot = append(perRoot, i)
+			}
+			shapes = append(shapes, perRoot)
+			if total > 1 {
+				shapes = append(shapes, []int{1 + rng.Intn(total-1)})
+			}
+			if total > 2 {
+				a := 1 + rng.Intn(total-2)
+				b := a + 1 + rng.Intn(total-a-1)
+				shapes = append(shapes, []int{a, b})
+			}
+			for _, cuts := range shapes {
+				results := shardRuns(spec, total, cuts)
+				merged := mergeShards(results)
+				if merged.Found != full.Found || merged.Exhausted != full.Exhausted {
+					t.Fatalf("cuts %v: merged verdict %+v, full %+v", cuts, merged, full)
+				}
+				if full.Found {
+					if !sameOrder(merged.Order, full.Order) {
+						t.Fatalf("cuts %v: merged witness %v, full %v", cuts, merged.Order, full.Order)
+					}
+					if merged.WitnessRoot != full.WitnessRoot {
+						t.Fatalf("cuts %v: merged WitnessRoot %d, full %d", cuts, merged.WitnessRoot, full.WitnessRoot)
+					}
+				}
+				// Every shard reports the whole frontier in Roots.
+				for i, r := range results {
+					if r.Stats.Roots != total {
+						t.Fatalf("cuts %v shard %d: Roots = %d, want %d", cuts, i, r.Stats.Roots, total)
+					}
+				}
+			}
+			if full.Found {
+				found++
+			} else {
+				excluded++
+			}
+		}
+	}
+	if found == 0 || excluded == 0 || multiRoot == 0 {
+		t.Fatalf("weak test: %d found, %d excluded, %d multi-root", found, excluded, multiRoot)
+	}
+}
+
+func TestWitnessRootIndexesFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		c := randomComputation(rng, 7, 2)
+		for _, o := range sampleObservers(c, 6) {
+			spec := lwSpec(c, o)
+			full := search.Run(spec, search.Options{Workers: 1})
+			if !full.Found || len(full.Order) == 0 {
+				continue
+			}
+			total, triv := search.Frontier(spec)
+			if triv != nil {
+				continue
+			}
+			if full.WitnessRoot < 0 || full.WitnessRoot >= total {
+				t.Fatalf("WitnessRoot %d outside frontier [0, %d)", full.WitnessRoot, total)
+			}
+			// The single-root shard at WitnessRoot must reproduce the
+			// witness; every shard strictly below it must be exhausted
+			// without one (lowest-root rule).
+			win := search.Run(spec, search.Options{
+				Workers: 1, RootLo: full.WitnessRoot, RootHi: full.WitnessRoot + 1,
+			})
+			if !win.Found || !sameOrder(win.Order, full.Order) {
+				t.Fatalf("winning shard %d: %+v, full witness %v", full.WitnessRoot, win, full.Order)
+			}
+			if win.WitnessRoot != full.WitnessRoot {
+				t.Fatalf("winning shard reports WitnessRoot %d, want %d", win.WitnessRoot, full.WitnessRoot)
+			}
+			if full.WitnessRoot > 0 {
+				below := search.Run(spec, search.Options{
+					Workers: 1, RootLo: 0, RootHi: full.WitnessRoot,
+				})
+				if below.Found {
+					t.Fatalf("shard below winning root %d found witness %v", full.WitnessRoot, below.Order)
+				}
+				if !below.Exhausted {
+					t.Fatalf("shard below winning root not exhausted: %+v", below)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instances checked")
+	}
+}
+
+func TestShardWorkerSweep(t *testing.T) {
+	// A sharded run must give the same answer at every worker count.
+	rng := rand.New(rand.NewSource(49))
+	for trial := 0; trial < 20; trial++ {
+		c := randomComputation(rng, 8, 2)
+		for _, o := range sampleObservers(c, 4) {
+			spec := lwSpec(c, o)
+			total, triv := search.Frontier(spec)
+			if triv != nil || total < 2 {
+				continue
+			}
+			lo, hi := 1, total
+			base := search.Run(spec, search.Options{Workers: 1, RootLo: lo, RootHi: hi})
+			for _, w := range []int{2, 4} {
+				got := search.Run(spec, search.Options{Workers: w, RootLo: lo, RootHi: hi})
+				if got.Found != base.Found || !sameOrder(got.Order, base.Order) {
+					t.Fatalf("workers=%d shard [%d,%d): %+v vs %+v", w, lo, hi, got, base)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyShardVacuouslyExhausted(t *testing.T) {
+	g := dag.Grid(3, 3)
+	spec := search.Spec{
+		Dag:       g,
+		NumSlots:  0,
+		WriteSlot: func(dag.Node) int { return -1 },
+		Allowed:   func(int, dag.Node) ([]dag.Node, bool) { return nil, false },
+	}
+	total, triv := search.Frontier(spec)
+	if triv != nil || total != 1 {
+		t.Fatalf("Frontier = %d, %+v", total, triv)
+	}
+	for _, opts := range []search.Options{
+		{RootLo: 5, RootHi: 9}, // beyond the frontier
+		{RootLo: 1, RootHi: 1}, // empty range
+		{RootLo: 3, RootHi: 2}, // inverted
+	} {
+		res := search.Run(spec, opts)
+		if res.Found || !res.Exhausted || res.WitnessRoot != -1 {
+			t.Fatalf("empty shard %+v: %+v", opts, res)
+		}
+		if res.Stats.Roots != total {
+			t.Fatalf("empty shard Roots = %d, want %d", res.Stats.Roots, total)
+		}
+	}
+	// The defaults (0, 0) still run the whole frontier.
+	res := search.Run(spec, search.Options{})
+	if !res.Found || !res.Exhausted {
+		t.Fatalf("default shard bounds: %+v", res)
+	}
+}
+
+func TestFrontierTrivialCases(t *testing.T) {
+	// Empty dag: trivially In with the empty order.
+	empty := search.Spec{
+		Dag:       dag.New(0),
+		NumSlots:  0,
+		WriteSlot: func(dag.Node) int { return -1 },
+		Allowed:   func(int, dag.Node) ([]dag.Node, bool) { return nil, false },
+	}
+	if total, triv := search.Frontier(empty); total != 0 || triv == nil || !triv.Found {
+		t.Fatalf("empty dag Frontier: %d, %+v", total, triv)
+	}
+	// Statically infeasible: read demands ⊥ but a writer precedes it.
+	g := dag.New(2)
+	g.MustAddEdge(0, 1)
+	infeasible := search.Spec{
+		Dag:      g,
+		NumSlots: 1,
+		WriteSlot: func(u dag.Node) int {
+			if u == 0 {
+				return 0
+			}
+			return -1
+		},
+		Allowed: func(_ int, u dag.Node) ([]dag.Node, bool) {
+			if u == 1 {
+				return []dag.Node{dag.None}, true
+			}
+			return nil, false
+		},
+	}
+	if total, triv := search.Frontier(infeasible); total != 0 || triv == nil || triv.Found || !triv.Exhausted {
+		t.Fatalf("infeasible Frontier: %d, %+v", total, triv)
+	}
+}

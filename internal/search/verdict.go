@@ -33,6 +33,12 @@ const (
 	// by dropping inserts — but external governors that watch process
 	// memory report it.
 	StopMemory
+	// StopFleet: a fleet-verification run lost shards to replica
+	// failures after retries were exhausted, so the merged verdict
+	// covers only part of the root frontier. The engine never produces
+	// this reason; only the internal/fleet merge layer does, and the
+	// fleet report carries the exact shard-coverage counts behind it.
+	StopFleet
 )
 
 // String returns the reason in the spelling used by the CLI verdicts.
@@ -48,6 +54,8 @@ func (r StopReason) String() string {
 		return "cancelled"
 	case StopMemory:
 		return "memory"
+	case StopFleet:
+		return "fleet"
 	default:
 		return "unknown"
 	}
@@ -107,7 +115,7 @@ func (v Verdict) String() string {
 // ParseStopReason inverts StopReason.String. Unknown spellings are an
 // error so wire decoding cannot silently invent a reason.
 func ParseStopReason(s string) (StopReason, error) {
-	for r := StopNone; r <= StopMemory; r++ {
+	for r := StopNone; r <= StopFleet; r++ {
 		if r.String() == s {
 			return r, nil
 		}

@@ -4,6 +4,7 @@
 // enumeration census into queryable endpoints:
 //
 //	POST /v1/check      (computation, observer) pair -> per-model verdicts
+//	POST /v1/batch      many (pair, model, frontier shard) items -> per-item verdicts
 //	POST /v1/verify     executed trace -> LC/SC explainability + witnesses
 //	POST /v1/enumerate  universe bounds -> membership census
 //	GET  /healthz       liveness ("ok" / 503 "draining")
@@ -248,7 +249,7 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		metrics: map[string]*endpointMetrics{
-			"check": {}, "verify": {}, "enumerate": {}, "healthz": {}, "statsz": {},
+			"check": {}, "batch": {}, "verify": {}, "enumerate": {}, "healthz": {}, "statsz": {},
 		},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -257,6 +258,7 @@ func New(cfg Config) *Server {
 	// session attached.
 	s.cfg.Recorder = obs.Multi(cfg.Recorder, &s.totals)
 	s.mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
 	s.mux.HandleFunc("POST /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))

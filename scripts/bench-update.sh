@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Promote the most recent benchmark run to the regression baseline.
+# Promote the most recent benchmark runs to the regression baselines:
+# the engine micro-benchmarks (benchmarks/latest.txt, from
+# scripts/bench.sh) and the service-level soak trajectory
+# (benchmarks/BENCH_serve.json, from scripts/soak-smoke.sh).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [ ! -f benchmarks/latest.txt ]; then
-  echo "benchmarks/latest.txt not found; run scripts/bench.sh first" >&2
+promoted=0
+if [ -f benchmarks/latest.txt ]; then
+  cp benchmarks/latest.txt benchmarks/baseline.txt
+  echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"
+  promoted=1
+fi
+if [ -f benchmarks/BENCH_serve.json ]; then
+  cp benchmarks/BENCH_serve.json benchmarks/serve-baseline.json
+  echo "promoted benchmarks/BENCH_serve.json -> benchmarks/serve-baseline.json"
+  promoted=1
+fi
+if [ "$promoted" -eq 0 ]; then
+  echo "nothing to promote; run scripts/bench.sh and/or scripts/soak-smoke.sh first" >&2
   exit 1
 fi
-
-cp benchmarks/latest.txt benchmarks/baseline.txt
-echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"
