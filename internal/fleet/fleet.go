@@ -99,7 +99,8 @@ type Coordinator struct {
 	cfg      Config
 	client   *http.Client
 	breakers []*breaker
-	rr       int // dispatch-round rotation cursor
+	rrmu     sync.Mutex
+	rr       int // dispatch-round rotation cursor, guarded by rrmu
 	jmu      sync.Mutex
 	jitter   *rand.Rand
 	now      func() time.Time
@@ -154,9 +155,10 @@ type ModelOutcome struct {
 	// they differ only when shards were lost to exhausted retries.
 	ShardsTotal, ShardsDone int
 	// WitnessCanonical reports that every shard below the witness's
-	// root completed, so the witness is exactly the single-box one. An
-	// In verdict with a lost shard below the winning root is still
-	// definitive, but its witness may be a higher-root one.
+	// root exhausted its range, so the witness is exactly the
+	// single-box one. An In verdict with a lost or inconclusive shard
+	// below the winning root is still definitive, but its witness may
+	// be a higher-root one.
 	WitnessCanonical bool
 }
 
@@ -303,7 +305,7 @@ func (co *Coordinator) run(ctx context.Context, units []*unit) (runStats, error)
 			continue
 		}
 
-		batches := co.assign(ready)
+		batches, overflow := co.assign(ready)
 		if len(batches) == 0 {
 			// Every breaker is open: wait for the earliest cooldown to
 			// expire (bounded below so a clock skew cannot spin).
@@ -339,7 +341,9 @@ func (co *Coordinator) run(ctx context.Context, units []*unit) (runStats, error)
 		}
 		wg.Wait()
 
-		pending = waiting
+		// Units that did not fit this round's capacity go straight back
+		// in the queue (retryAt stays zero, so they are ready again).
+		pending = append(waiting, overflow...)
 		for _, oc := range outcomes {
 			if oc.hedged {
 				stats.hedges++
@@ -417,35 +421,41 @@ type attemptFailure struct {
 
 // assign partitions ready units round-robin over the replicas whose
 // breakers admit dispatch, respecting the server's batch-size cap.
-// Units that do not fit this round stay pending for the next one.
-func (co *Coordinator) assign(ready []*unit) []batch {
+// Units that do not fit this round's capacity are returned as overflow
+// so the caller requeues them for the next round.
+func (co *Coordinator) assign(ready []*unit) ([]batch, []*unit) {
 	n := len(co.cfg.Replicas)
 	want := len(ready)
 	if want > n {
 		want = n
 	}
+	co.rrmu.Lock()
+	start := co.rr
+	co.rr = (co.rr + 1) % n
+	co.rrmu.Unlock()
 	var allowed []int
 	for i := 0; i < n && len(allowed) < want; i++ {
-		r := (co.rr + i) % n
+		r := (start + i) % n
 		if co.breakers[r].allow() {
 			allowed = append(allowed, r)
 		}
 	}
-	co.rr = (co.rr + 1) % n
 	if len(allowed) == 0 {
-		return nil
+		return nil, ready
 	}
 	batches := make([]batch, len(allowed))
 	for i, r := range allowed {
 		batches[i] = batch{replica: r}
 	}
 	const maxPerBatch = 64 // serve's maxBatchItems
+	capacity := maxPerBatch * len(allowed)
+	var overflow []*unit
 	for i, u := range ready {
-		b := &batches[i%len(allowed)]
-		if len(b.units) < maxPerBatch {
-			b.units = append(b.units, u)
+		if i < capacity {
+			batches[i%len(allowed)].units = append(batches[i%len(allowed)].units, u)
+		} else {
+			overflow = append(overflow, u)
 		}
-		// Overflow units keep retryAt zero and re-enter next round.
 	}
 	out := batches[:0]
 	for _, b := range batches {
@@ -453,7 +463,7 @@ func (co *Coordinator) assign(ready []*unit) []batch {
 			out = append(out, b)
 		}
 	}
-	return out
+	return out, overflow
 }
 
 // earliestAllow returns the earliest instant some breaker re-admits
@@ -700,7 +710,8 @@ func (co *Coordinator) merge(models []string, units []*unit, scShards int, stats
 //   - Any shard with a witness is definitive In; among them the lowest
 //     WitnessRoot wins, reproducing exactly the root the single-box
 //     engine would commit to. The witness is canonical when every
-//     shard below the winning root completed.
+//     shard below the winning root exhausted its range (neither lost
+//     nor stopped inconclusive on a governed limit).
 //   - All shards exhausted without a witness is definitive Out.
 //   - Otherwise the run is inconclusive: lost shards degrade to the
 //     typed fleet reason; with full coverage but some governed shard
@@ -742,7 +753,11 @@ func mergeSC(scUnits []*unit, scShards int) ModelOutcome {
 		out.Verdict = search.VerdictIn()
 		out.Witness = win.result.Witness
 		for _, u := range scUnits {
-			if u.result == nil && u.lo < win.result.WitnessRoot {
+			// A lost shard below the winning root may hide a lower-root
+			// witness; so may one that stopped on a governed limit
+			// without exhausting its range.
+			exhausted := u.result != nil && !u.result.Verdict.Inconclusive()
+			if !exhausted && u.lo < win.result.WitnessRoot {
 				out.WitnessCanonical = false
 			}
 		}

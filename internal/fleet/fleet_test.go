@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -437,6 +438,116 @@ func TestFleetPartialLossKeepsDefinitiveIn(t *testing.T) {
 	if !out.Verdict.In() || out.WitnessCanonical {
 		t.Errorf("lost shard below the root: verdict %s canonical %v, want IN and non-canonical", out.Verdict, out.WitnessCanonical)
 	}
+	// A shard below the root that completed but stopped on a governed
+	// limit did not exhaust its range either: same degradation.
+	u1.lost = false
+	u1.result = &serve.BatchResult{Verdict: search.VerdictInconclusive(search.StopBudget)}
+	out = mergeSC([]*unit{u0, u1}, 2)
+	if !out.Verdict.In() || out.WitnessCanonical {
+		t.Errorf("inconclusive shard below the root: verdict %s canonical %v, want IN and non-canonical", out.Verdict, out.WitnessCanonical)
+	}
+	// But an inconclusive shard above the winning root is harmless.
+	u0.lo, u0.hi, u0.result.WitnessRoot = 0, 1, 0
+	u1.lo, u1.hi = 1, 2
+	out = mergeSC([]*unit{u0, u1}, 2)
+	if !out.Verdict.In() || !out.WitnessCanonical {
+		t.Errorf("inconclusive shard above the root: verdict %s canonical %v, want IN and canonical", out.Verdict, out.WitnessCanonical)
+	}
+}
+
+// ---- dispatch capacity ---------------------------------------------
+
+// TestAssignOverflowReturned: units beyond the per-round batch capacity
+// are handed back as overflow, never silently dropped.
+func TestAssignOverflowReturned(t *testing.T) {
+	co, err := New(Config{Replicas: []string{"http://a", "http://b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := make([]*unit, 150) // capacity is 64 * 2 = 128
+	for i := range units {
+		units[i] = &unit{key: string(rune('a' + i%26))}
+	}
+	batches, overflow := co.assign(units)
+	placed := 0
+	for _, b := range batches {
+		if len(b.units) > 64 {
+			t.Errorf("batch for replica %d holds %d units, cap 64", b.replica, len(b.units))
+		}
+		placed += len(b.units)
+	}
+	if placed != 128 || len(overflow) != 22 {
+		t.Errorf("placed %d overflow %d, want 128/22", placed, len(overflow))
+	}
+	if placed+len(overflow) != len(units) {
+		t.Errorf("assign lost units: %d in, %d out", len(units), placed+len(overflow))
+	}
+	// With every breaker open, everything overflows.
+	for _, b := range co.breakers {
+		b.failure()
+		b.failure()
+		b.failure()
+	}
+	batches, overflow = co.assign(units)
+	if len(batches) != 0 || len(overflow) != len(units) {
+		t.Errorf("open breakers: %d batches, %d overflow, want 0/%d", len(batches), len(overflow), len(units))
+	}
+}
+
+// TestFleetOverflowUnitsAllDispatched: more ready units than one
+// round's capacity (64 per replica) still all resolve — the overflow
+// re-enters the queue instead of vanishing into INCONCLUSIVE(fleet).
+func TestFleetOverflowUnitsAllDispatched(t *testing.T) {
+	replicas := startReplicas(t, 1)
+	pair := readPair(t, "figure3.ccm")
+	co, err := New(Config{Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := make([]*unit, 70)
+	for i := range units {
+		key := fmt.Sprintf("LC-%d", i)
+		units[i] = &unit{key: key, item: serve.BatchItem{ID: key, Pair: pair, Model: "LC"}}
+	}
+	stats, err := co.run(context.Background(), units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.lost != 0 {
+		t.Errorf("fault-free overflow run lost %d units", stats.lost)
+	}
+	for _, u := range units {
+		if u.result == nil {
+			t.Fatalf("unit %s never resolved: overflow was dropped", u.key)
+		}
+	}
+}
+
+// TestFleetConcurrentChecks: one Coordinator may serve concurrent
+// Checks (the round-robin cursor is the only unguarded-looking shared
+// state; this test gives the race detector something to chew on).
+func TestFleetConcurrentChecks(t *testing.T) {
+	replicas := startReplicas(t, 2)
+	pair := readPair(t, "figure2.ccm")
+	want := singleBox(t, pair, nil)
+	co, err := New(Config{Replicas: replicas, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := co.Check(context.Background(), pair, nil)
+			if err != nil {
+				t.Errorf("concurrent Check: %v", err)
+				return
+			}
+			checkAgainstReference(t, "figure2", rep, want)
+		}()
+	}
+	wg.Wait()
 }
 
 // ---- breaker unit tests --------------------------------------------
