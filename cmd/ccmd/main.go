@@ -7,6 +7,7 @@
 //	POST /v1/check      (computation, observer) pair -> per-model verdicts
 //	POST /v1/batch      many (pair, model, frontier shard) items -> per-item verdicts
 //	POST /v1/verify     executed trace -> LC/SC explainability + witnesses
+//	POST /v1/trace      NDJSON event stream -> incremental online verification
 //	POST /v1/enumerate  universe bounds -> membership census
 //	GET  /healthz       liveness ("ok" / 503 "draining")
 //	GET  /statsz        queue, cache, and per-endpoint gauges as JSON
@@ -32,7 +33,11 @@
 // a 500 and a panics_recovered tick on /statsz, never a crash), an
 // exchange deadline clamped onto the governance limits, and transport
 // read/write/idle timeouts against stalled clients (-read-header-timeout
-// et al.).
+// et al.). The streaming endpoint /v1/trace is exempt from both the
+// exchange deadline and the blanket transport read timeout — its
+// long-lived connections are governed per-stream by -stream-max-age
+// and -stream-idle instead, so -read-timeout can stay aggressive
+// without cutting healthy streams.
 //
 // Exit codes: 0 clean shutdown, 1 runtime error, 2 usage error.
 package main
@@ -81,6 +86,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	readTimeout := fs.Duration("read-timeout", time.Minute, "ceiling on reading a whole request, headers and body (0 disables)")
 	writeTimeout := fs.Duration("write-timeout", 0, "ceiling on writing a response (0 disables; must exceed -max-timeout or long decisions are cut off mid-reply)")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connections idle longer than this are closed (0 disables)")
+	streamMaxAge := fs.Duration("stream-max-age", 10*time.Minute, "absolute lifetime cap on one /v1/trace stream")
+	streamIdle := fs.Duration("stream-idle", time.Minute, "rolling deadline for the next /v1/trace event; a stalled stream finishes INCONCLUSIVE(deadline)")
+	streamHeartbeat := fs.Duration("stream-heartbeat", 5*time.Second, "cadence of gauge heartbeat records on /v1/trace responses")
+	streamBuffer := fs.Int("stream-buffer", 1024, "per-stream event ring capacity (rounded up to a power of two); overflow sheds and degrades to INCONCLUSIVE(overrun)")
+	streamMaxEvents := fs.Int64("stream-max-events", 0, "cap on node events per /v1/trace stream; past it the overflow policy sheds (0 = unlimited)")
 	accessLog := fs.String("access-log", "", "structured access-log destination: a file path (appended), or - for stderr (empty disables)")
 	trustedProxies := fs.String("trusted-proxies", "", "comma-separated CIDRs/IPs whose X-Forwarded-For headers are honored for client-IP logging")
 	obsFlags := obs.AddFlags(fs)
@@ -144,6 +154,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			AccessLog:      accessW,
 			TrustedProxies: proxies,
 			RequestTimeout: *requestTimeout,
+			Stream: serve.StreamConfig{
+				MaxAge:      *streamMaxAge,
+				IdleTimeout: *streamIdle,
+				Heartbeat:   *streamHeartbeat,
+				Buffer:      *streamBuffer,
+				MaxEvents:   *streamMaxEvents,
+			},
 		},
 	}, stdout, stderr)
 	if err := session.Close(code); err != nil {

@@ -24,6 +24,19 @@
 // codes: 0 when every check is explainable, 1 when any check is
 // definitively violated, 2 on usage errors, 3 when the outcome is
 // inconclusive.
+//
+// Two streaming modes mirror the ccmd daemon's POST /v1/trace:
+//
+//	verify -stream FILE   feed the trace event-by-event through the
+//	                      incremental online checker (internal/stream),
+//	                      reporting stable violations the moment they
+//	                      become observable; the final LC/SC verdicts
+//	                      and the exit code are identical to the
+//	                      post-mortem run on the same trace.
+//	verify -events FILE   print the trace as its NDJSON event stream
+//	                      (the /v1/trace wire format) and exit — the
+//	                      payload generator for streaming clients and
+//	                      the CI smoke test.
 package main
 
 import (
@@ -33,10 +46,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/checker"
 	"repro/internal/obs"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -63,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	witness := fs.Bool("witness", false, "print witness observer functions")
 	demo := fs.Bool("demo", false, "verify the built-in message-passing demo trace")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the searches")
+	streamMode := fs.Bool("stream", false, "verify incrementally through the online checker, reporting stable violations mid-stream")
+	emitEvents := fs.Bool("events", false, "print the trace as its NDJSON event stream (the /v1/trace wire format) and exit")
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,7 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "verify:", err)
 		return 2
 	}
-	code := runChecks(fs, sess.Rec, *budget, *maxStates, *timeout, *maxMemoMB, *witness, *demo, *workers, stdout, stderr)
+	code := runChecks(fs, sess.Rec, *budget, *maxStates, *timeout, *maxMemoMB, *witness, *demo, *workers, *streamMode, *emitEvents, stdout, stderr)
 	if err := sess.Close(code); err != nil {
 		fmt.Fprintln(stderr, "verify:", err)
 		if code == 0 {
@@ -83,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, timeout time.Duration,
-	maxMemoMB int64, witness, demo bool, workers int, stdout, stderr io.Writer) int {
+	maxMemoMB int64, witness, demo bool, workers int, streamMode, emitEvents bool, stdout, stderr io.Writer) int {
 
 	var nt *trace.NamedTrace
 	var err error
@@ -108,6 +125,18 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, time
 	}
 	tr := nt.Trace
 
+	if emitEvents {
+		evs, err := stream.EventsFromTrace(nt)
+		if err == nil {
+			err = stream.WriteNDJSON(stdout, evs)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "verify:", err)
+			return 1
+		}
+		return 0
+	}
+
 	if !tr.Explainable() {
 		fmt.Fprintln(stdout, "UNEXPLAINABLE: some read returns a value no eligible write stored")
 		return 1
@@ -123,6 +152,10 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, time
 	opts.Budget = budget
 	if maxStates > 0 {
 		opts.Budget = maxStates
+	}
+
+	if streamMode {
+		return streamChecks(ctx, rec, nt, opts, witness, stdout, stderr)
 	}
 
 	violated, inconclusive := false, false
@@ -161,6 +194,72 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, time
 	case violated:
 		return 1
 	case inconclusive:
+		return 3
+	}
+	return 0
+}
+
+// streamChecks replays the parsed trace through the incremental online
+// checker — the same engine behind ccmd's POST /v1/trace — printing
+// each stable violation the moment it becomes observable, then the
+// same LC/SC verdict lines (and exit code) the post-mortem path
+// prints. Online-proved violations short-circuit their post-mortem
+// search, so those lines report 0 search states.
+func streamChecks(ctx context.Context, rec obs.Recorder, nt *trace.NamedTrace,
+	opts checker.SearchOptions, witness bool, stdout, stderr io.Writer) int {
+
+	evs, err := stream.EventsFromTrace(nt)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return 1
+	}
+	chk := stream.New(stream.Options{CheckEvery: 1})
+	srec := obs.WithRun(rec, "stream")
+	obs.Emit(srec, obs.Event{Kind: obs.RunStart, Total: len(evs)})
+	for _, ev := range evs {
+		v, err := chk.Ingest(ev)
+		if err != nil {
+			fmt.Fprintln(stderr, "verify:", err)
+			return 1
+		}
+		if v != nil {
+			models := strings.Join(v.Models, ",")
+			fmt.Fprintf(stdout, "stream: event %d: stable %s violation at %s excludes %s\n",
+				v.Event, v.Kind, v.Node, models)
+			obs.Emit(srec, obs.Event{Kind: obs.StreamViolation, Str: models + " " + v.Kind, N: v.Event})
+		}
+	}
+	fopts := opts
+	fopts.Recorder = obs.WithRun(rec, "stream-final")
+	fin := chk.Finish(ctx, fopts)
+
+	st := chk.Stats()
+	summary := fmt.Sprintf("LC=%s SC=%s", checker.VerdictText(fin.LC), checker.VerdictText(fin.SC))
+	obs.Emit(srec, obs.Event{Kind: obs.StreamDone, N: st.Events, Total: int(st.Shed), Str: summary})
+	obs.Emit(srec, obs.Event{Kind: obs.RunEnd, Str: summary})
+
+	fmt.Fprintf(stdout, "LC: %s  (search states: %d)\n", checker.VerdictText(fin.LC), fin.LCStats.States)
+	if fin.LC.In() && witness {
+		fmt.Fprintf(stdout, "    witness: %v\n", fin.LCResult.Observer)
+	}
+	fmt.Fprintf(stdout, "SC: %s  (search states: %d)\n", checker.VerdictText(fin.SC), fin.SCStats.States)
+	switch {
+	case fin.SC.In() && witness:
+		fmt.Fprintf(stdout, "    witness: %v\n", fin.SCResult.Observer)
+	case fin.SC.Inconclusive():
+		fmt.Fprintf(stdout, "    stopped by the %s governor; raise -timeout/-max-states and retry\n", fin.SC.Reason)
+	}
+
+	if fin.LC.In() && fin.SC.Out() {
+		fmt.Fprintln(stdout, "\n=> a relaxed (coherent but not sequentially consistent) execution")
+	}
+	if fin.LC.Out() {
+		fmt.Fprintln(stdout, "\n=> not even location consistent: per-location write serialization is violated")
+	}
+	switch {
+	case fin.LC.Out() || fin.SC.Out():
+		return 1
+	case fin.LC.Inconclusive() || fin.SC.Inconclusive():
 		return 3
 	}
 	return 0

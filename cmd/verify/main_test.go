@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/computation"
 	"repro/internal/dag"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -72,6 +73,111 @@ func TestRunTimeoutInconclusive(t *testing.T) {
 			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), base)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunStreamConformance is the CLI half of the tentpole's
+// acceptance criterion: for every corpus trace, `verify -stream` must
+// reach the same LC/SC verdict spellings and the same exit code as the
+// post-mortem run. (Search-state counts may differ: online-proved
+// violations short-circuit their search.)
+func TestRunStreamConformance(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.trace"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("corpus glob: %v (found %d)", err, len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			var offOut, offErr, strOut, strErr bytes.Buffer
+			offCode := run([]string{path}, &offOut, &offErr)
+			strCode := run([]string{"-stream", path}, &strOut, &strErr)
+			if offCode != strCode {
+				t.Fatalf("exit codes diverge: offline %d, stream %d\noffline:\n%s\nstream:\n%s",
+					offCode, strCode, offOut.String(), strOut.String())
+			}
+			offLC, offSC := verdictLines(t, offOut.String())
+			strLC, strSC := verdictLines(t, strOut.String())
+			if offLC != strLC || offSC != strSC {
+				t.Fatalf("verdicts diverge:\noffline LC=%q SC=%q\nstream  LC=%q SC=%q",
+					offLC, offSC, strLC, strSC)
+			}
+		})
+	}
+}
+
+// verdictLines extracts the verdict spellings from the "LC: …" and
+// "SC: …" output lines, stripping the search-state parenthetical.
+func verdictLines(t *testing.T, out string) (lc, sc string) {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		text, rest := "", ""
+		if s, ok := strings.CutPrefix(line, "LC: "); ok {
+			text, rest = "LC", s
+		} else if s, ok := strings.CutPrefix(line, "SC: "); ok {
+			text, rest = "SC", s
+		} else {
+			continue
+		}
+		verdict, _, _ := strings.Cut(rest, "  (")
+		if text == "LC" {
+			lc = verdict
+		} else {
+			sc = verdict
+		}
+	}
+	if lc == "" || sc == "" {
+		t.Fatalf("output missing verdict lines:\n%s", out)
+	}
+	return lc, sc
+}
+
+// TestRunStreamViolationAnnounced pins the online property the stream
+// mode exists for: on a violating trace, the stable violation is
+// reported before the final verdict lines.
+func TestRunStreamViolationAnnounced(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "corr_violation.trace")
+	var out, errb bytes.Buffer
+	code := run([]string{"-stream", path}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out.String())
+	}
+	s := out.String()
+	vi := strings.Index(s, "stream: event ")
+	li := strings.Index(s, "LC: ")
+	if vi < 0 {
+		t.Fatalf("no mid-stream violation line:\n%s", s)
+	}
+	if li >= 0 && vi > li {
+		t.Fatalf("violation reported after the final verdict:\n%s", s)
+	}
+}
+
+// TestRunEvents checks the NDJSON emitter round-trips: every line
+// parses as a stream event, the stream is end-terminated, and feeding
+// it back through the online checker reproduces the trace shape.
+func TestRunEvents(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "mp_stale.trace")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-events", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("suspiciously short event stream:\n%s", out.String())
+	}
+	chk := stream.New(stream.Options{})
+	for i, line := range lines {
+		ev, err := stream.ParseEvent([]byte(line))
+		if err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if _, err := chk.Ingest(ev); err != nil {
+			t.Fatalf("line %d: ingest: %v", i+1, err)
+		}
+	}
+	if !chk.Ended() {
+		t.Fatalf("event stream not end-terminated:\n%s", out.String())
 	}
 }
 

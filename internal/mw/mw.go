@@ -85,6 +85,11 @@ func (w *responseWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// streaming handlers can reach through the middleware stack to set
+// per-connection read/write deadlines.
+func (w *responseWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // ctxKey namespaces the package's context values.
 type ctxKey int
 

@@ -245,6 +245,34 @@ func TestTimeoutBoundsExchange(t *testing.T) {
 	}
 }
 
+// TestTimeoutExcept: exempt paths see no exchange deadline, everything
+// else keeps it — the carve-out the streaming endpoint rides on.
+func TestTimeoutExcept(t *testing.T) {
+	var deadlines = map[string]bool{}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok := r.Context().Deadline()
+		deadlines[r.URL.Path] = ok
+	}), TimeoutExcept(250*time.Millisecond, "/v1/trace"))
+	get(h, func(r *http.Request) { r.URL.Path = "/v1/trace" })
+	get(h, func(r *http.Request) { r.URL.Path = "/v1/verify" })
+	if deadlines["/v1/trace"] {
+		t.Error("exempt path got an exchange deadline")
+	}
+	if !deadlines["/v1/verify"] {
+		t.Error("non-exempt path lost its exchange deadline")
+	}
+
+	// Disabled timeout stays disabled regardless of exemptions.
+	var ok bool
+	h = Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok = r.Context().Deadline()
+	}), TimeoutExcept(0, "/v1/trace"))
+	get(h)
+	if ok {
+		t.Error("TimeoutExcept(0) still set a deadline")
+	}
+}
+
 // TestTimeoutCancelsWaiters: a handler blocked on something
 // context-aware (the admission queue, a singleflight fill) unblocks at
 // the exchange deadline.

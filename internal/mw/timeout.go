@@ -28,3 +28,36 @@ func Timeout(d time.Duration) Middleware {
 		})
 	}
 }
+
+// TimeoutExcept is Timeout with a list of exempt URL paths that bypass
+// the exchange deadline. Streaming endpoints need this: a long-lived
+// NDJSON trace stream is healthy for as long as events keep arriving,
+// so a blanket exchange deadline sized for one decision would cut it
+// off mid-flight. Exempt handlers own their lifetime instead — the
+// serving layer bounds them with per-stream read/write deadlines
+// derived from its streaming governance (absolute max age plus a
+// rolling idle window), which is strictly tighter discipline than an
+// unconditional wall-clock cut.
+//
+// Matching is exact on the request path. A non-positive d disables the
+// deadline for every path.
+func TimeoutExcept(d time.Duration, exempt ...string) Middleware {
+	if d <= 0 || len(exempt) == 0 {
+		return Timeout(d)
+	}
+	skip := make(map[string]bool, len(exempt))
+	for _, p := range exempt {
+		skip[p] = true
+	}
+	timed := Timeout(d)
+	return func(next http.Handler) http.Handler {
+		bounded := timed(next)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if skip[r.URL.Path] {
+				next.ServeHTTP(w, r)
+				return
+			}
+			bounded.ServeHTTP(w, r)
+		})
+	}
+}

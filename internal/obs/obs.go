@@ -97,29 +97,44 @@ const (
 	// BreakerFlip: a replica's circuit breaker changed state. Fields:
 	// Run, Worker (replica index), Str ("open", "half-open", "closed").
 	BreakerFlip
+	// StreamViolation: the online trace checker proved a stable
+	// violation mid-stream. Fields: Run, Str (models and rule, e.g.
+	// "LC,SC taint"), N (1-based node-event index).
+	StreamViolation
+	// StreamOverrun: a streaming ingest outran its bounded buffer and
+	// the overflow policy began shedding events. Emitted once per
+	// stream. Fields: Run, N (events ingested before the overrun).
+	StreamOverrun
+	// StreamDone: a trace stream finished (end event, disconnect, or
+	// governance cutoff). Fields: Run, N (node events ingested), Total
+	// (events shed), Str (final verdict summary, "LC=… SC=…").
+	StreamDone
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	RunStart:       "run-start",
-	RunEnd:         "run-end",
-	PhaseStart:     "phase",
-	RootClaimed:    "root-claimed",
-	RootSkipped:    "root-skipped",
-	RootFinished:   "root-finished",
-	GovernorFired:  "governor",
-	MemoFreeze:     "memo-freeze",
-	FaultInjected:  "fault",
-	ShrinkStep:     "shrink-step",
-	PlanDone:       "plan-done",
-	WorkerDone:     "worker-done",
-	PanicRecovered: "panic-recovered",
-	ShardSent:      "shard-sent",
-	ShardRetry:     "shard-retry",
-	ShardHedge:     "shard-hedge",
-	ShardDone:      "shard-done",
-	BreakerFlip:    "breaker-flip",
+	RunStart:        "run-start",
+	RunEnd:          "run-end",
+	PhaseStart:      "phase",
+	RootClaimed:     "root-claimed",
+	RootSkipped:     "root-skipped",
+	RootFinished:    "root-finished",
+	GovernorFired:   "governor",
+	MemoFreeze:      "memo-freeze",
+	FaultInjected:   "fault",
+	ShrinkStep:      "shrink-step",
+	PlanDone:        "plan-done",
+	WorkerDone:      "worker-done",
+	PanicRecovered:  "panic-recovered",
+	ShardSent:       "shard-sent",
+	ShardRetry:      "shard-retry",
+	ShardHedge:      "shard-hedge",
+	ShardDone:       "shard-done",
+	BreakerFlip:     "breaker-flip",
+	StreamViolation: "stream-violation",
+	StreamOverrun:   "stream-overrun",
+	StreamDone:      "stream-done",
 }
 
 // String returns the stable spelling of the kind (used in trace

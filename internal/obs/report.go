@@ -77,6 +77,13 @@ type EventCounts struct {
 	ShardHedges  int64 `json:"shard_hedges"`
 	ShardsLost   int64 `json:"shards_lost"`
 	BreakerFlips int64 `json:"breaker_flips"`
+	// Streaming-verification counters: trace streams completed, node
+	// events they ingested, stable violations proved mid-stream, and
+	// streams degraded by the buffer-overflow policy.
+	StreamsDone         int64 `json:"streams_done"`
+	TraceEventsIngested int64 `json:"trace_events_ingested"`
+	StreamViolations    int64 `json:"stream_violations"`
+	StreamOverruns      int64 `json:"stream_overruns"`
 }
 
 // ReportCollector is the recorder behind -report: it folds the event
@@ -152,6 +159,13 @@ func (c *ReportCollector) Record(ev Event) {
 		}
 	case BreakerFlip:
 		c.rep.Events.BreakerFlips++
+	case StreamViolation:
+		c.rep.Events.StreamViolations++
+	case StreamOverrun:
+		c.rep.Events.StreamOverruns++
+	case StreamDone:
+		c.rep.Events.StreamsDone++
+		c.rep.Events.TraceEventsIngested += ev.N
 	}
 }
 

@@ -39,6 +39,12 @@ const (
 	// this reason; only the internal/fleet merge layer does, and the
 	// fleet report carries the exact shard-coverage counts behind it.
 	StopFleet
+	// StopOverrun: a streaming ingest outran its bounded ring buffer
+	// and events were shed, so the checker saw only part of the trace.
+	// The engine never produces this reason; only the internal/stream
+	// overflow policy does. Stable violations detected before the
+	// overrun remain definitive — only undecided models degrade.
+	StopOverrun
 )
 
 // String returns the reason in the spelling used by the CLI verdicts.
@@ -56,6 +62,8 @@ func (r StopReason) String() string {
 		return "memory"
 	case StopFleet:
 		return "fleet"
+	case StopOverrun:
+		return "overrun"
 	default:
 		return "unknown"
 	}
@@ -115,7 +123,7 @@ func (v Verdict) String() string {
 // ParseStopReason inverts StopReason.String. Unknown spellings are an
 // error so wire decoding cannot silently invent a reason.
 func ParseStopReason(s string) (StopReason, error) {
-	for r := StopNone; r <= StopFleet; r++ {
+	for r := StopNone; r <= StopOverrun; r++ {
 		if r.String() == s {
 			return r, nil
 		}

@@ -6,6 +6,7 @@
 //	POST /v1/check      (computation, observer) pair -> per-model verdicts
 //	POST /v1/batch      many (pair, model, frontier shard) items -> per-item verdicts
 //	POST /v1/verify     executed trace -> LC/SC explainability + witnesses
+//	POST /v1/trace      NDJSON event stream -> incremental online verification
 //	POST /v1/enumerate  universe bounds -> membership census
 //	GET  /healthz       liveness ("ok" / 503 "draining")
 //	GET  /statsz        queue, cache, and per-endpoint gauges as JSON
@@ -89,8 +90,12 @@ type Config struct {
 	TrustedProxies []netip.Prefix
 	// RequestTimeout bounds the whole HTTP exchange (admission-queue
 	// wait and singleflight wait included). 0 derives it from
-	// Limits.ExchangeTimeout; negative disables the bound.
+	// Limits.ExchangeTimeout; negative disables the bound. POST
+	// /v1/trace is exempt: its long-lived exchange is governed by
+	// Stream's own deadlines instead.
 	RequestTimeout time.Duration
+	// Stream governs the /v1/trace streaming endpoint.
+	Stream StreamConfig
 }
 
 // EndpointStats is one endpoint's request gauges in /statsz.
@@ -208,6 +213,7 @@ type Statsz struct {
 	Admission       AdmissionStats           `json:"admission"`
 	Cache           CacheStats               `json:"cache"`
 	Engine          EngineTotals             `json:"engine"`
+	Stream          StreamStats              `json:"stream"`
 	Runtime         RuntimeStats             `json:"runtime"`
 	Endpoints       map[string]EndpointStats `json:"endpoints"`
 }
@@ -225,6 +231,7 @@ type Server struct {
 	baseCancel context.CancelFunc
 	metrics    map[string]*endpointMetrics
 	totals     engineTotals
+	streams    streamTotals
 	panics     atomic.Int64
 }
 
@@ -242,6 +249,7 @@ func New(cfg Config) *Server {
 	if cfg.Limits.MaxEnumNodes <= 0 {
 		cfg.Limits.MaxEnumNodes = 4
 	}
+	cfg.Stream = cfg.Stream.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		adm:   newAdmission(cfg.Slots, cfg.Queue),
@@ -249,7 +257,7 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		metrics: map[string]*endpointMetrics{
-			"check": {}, "batch": {}, "verify": {}, "enumerate": {}, "healthz": {}, "statsz": {},
+			"check": {}, "batch": {}, "verify": {}, "trace": {}, "enumerate": {}, "healthz": {}, "statsz": {},
 		},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -260,6 +268,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
 	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("verify", s.handleVerify))
+	s.mux.HandleFunc("POST /v1/trace", s.instrument("trace", s.handleTrace))
 	s.mux.HandleFunc("POST /v1/enumerate", s.instrument("enumerate", s.handleEnumerate))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /statsz", s.instrument("statsz", s.handleStatsz))
@@ -268,7 +277,10 @@ func New(cfg Config) *Server {
 	// attribute (RealIP), log (AccessLog), survive (Recovery — inside
 	// the log so panics log as the 500 they became), bound (Timeout —
 	// innermost so the whole exchange, queue wait included, shares one
-	// deadline clamped onto the governance ceilings).
+	// deadline clamped onto the governance ceilings). The streaming
+	// endpoint is exempt from the exchange deadline: its lifetime is
+	// governed per-stream (StreamConfig's age and idle bounds) instead
+	// of per-decision.
 	timeout := cfg.RequestTimeout
 	if timeout == 0 {
 		timeout = cfg.Limits.ExchangeTimeout()
@@ -278,7 +290,7 @@ func New(cfg Config) *Server {
 		mw.RealIP(cfg.TrustedProxies),
 		accessLogOrNoop(cfg.AccessLog),
 		mw.Recovery(s.onPanic),
-		mw.Timeout(timeout),
+		mw.TimeoutExcept(timeout, "/v1/trace"),
 	)
 	return s
 }
@@ -366,6 +378,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the wrapped writer so http.ResponseController (the
+// streaming handler's per-connection deadlines) and http.Flusher reach
+// the real connection through the instrumentation.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // writeJSON marshals v with a trailing newline (curl-friendly).
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -674,6 +691,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Admission:       adm,
 		Cache:           s.cache.stats(),
 		Engine:          s.totals.stats(),
+		Stream:          s.streams.stats(),
 		Runtime:         readRuntimeStats(),
 		Endpoints:       make(map[string]EndpointStats, len(s.metrics)),
 	}

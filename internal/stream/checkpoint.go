@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Checkpointing makes the incremental checker's state durable: a
+// long-lived stream can be snapshotted and resumed (by the same or
+// another process) without replaying the connection. The format keeps
+// the assembled prefix in the canonical trace text (the same format
+// cmd/verify reads), so a checkpoint is also directly inspectable and
+// post-mortem-verifiable with the existing tools; the derived
+// constraint state (ancestry masks, anchor lists) is rebuilt by
+// replaying the trace through ingest, which is linear and
+// deterministic.
+
+// checkpointVersion gates the wire format.
+const checkpointVersion = 1
+
+// checkpointJSON is the serialized checker state.
+type checkpointJSON struct {
+	Version    int         `json:"version"`
+	Events     int64       `json:"events"`
+	Shed       int64       `json:"shed"`
+	SinceCheck int64       `json:"since_check"`
+	Ended      bool        `json:"ended"`
+	Overrun    bool        `json:"overrun"`
+	CheckEvery int         `json:"check_every"`
+	MaxEvents  int64       `json:"max_events,omitempty"`
+	Violations []Violation `json:"violations,omitempty"`
+	Trace      string      `json:"trace"`
+}
+
+// Checkpoint serializes the checker's state to w as JSON.
+func (c *Checker) Checkpoint(w io.Writer) error {
+	var tb strings.Builder
+	if err := c.Trace().Format(&tb); err != nil {
+		return fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	cp := checkpointJSON{
+		Version:    checkpointVersion,
+		Events:     c.events,
+		Shed:       c.shed,
+		SinceCheck: c.sinceCheck,
+		Ended:      c.ended,
+		Overrun:    c.overrun,
+		CheckEvery: c.opts.CheckEvery,
+		MaxEvents:  c.opts.MaxEvents,
+		Violations: c.violations,
+		Trace:      tb.String(),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// Restore rebuilds a checker from a Checkpoint. The derived state is
+// reconstructed by replaying the recorded trace through ingest; the
+// recorded violation history is authoritative (replay may additionally
+// surface an SC cycle the original cadence had not reached yet — that
+// is kept too, since stable violations only accumulate).
+func Restore(r io.Reader) (*Checker, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cp checkpointJSON
+	if err := dec.Decode(&cp); err != nil {
+		return nil, fmt.Errorf("stream: bad checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("stream: checkpoint version %d not supported", cp.Version)
+	}
+	c, err := replay(cp)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func replay(cp checkpointJSON) (*Checker, error) {
+	c := New(Options{CheckEvery: cp.CheckEvery, MaxEvents: cp.MaxEvents})
+	nt, err := trace.ParseTraceString(cp.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("stream: checkpoint trace: %w", err)
+	}
+	events, err := EventsFromTrace(nt)
+	if err != nil {
+		return nil, fmt.Errorf("stream: checkpoint trace: %w", err)
+	}
+	// Replay with the overrun gate lifted: the recorded node count may
+	// equal MaxEvents exactly, and shedding recorded nodes would lose
+	// state the original had. Replay detects the same taint set the
+	// original did (taint depends only on the dag, not arrival order).
+	replayOpts := c.opts
+	c.opts.MaxEvents = 0
+	for _, ev := range events {
+		if ev.Ev == EvEnd {
+			break // terminal flags come from the checkpoint record
+		}
+		if _, err := c.Ingest(ev); err != nil {
+			return nil, fmt.Errorf("stream: checkpoint replay: %w", err)
+		}
+	}
+	c.opts = replayOpts
+
+	// The recorded history is canonical (its event indices reflect the
+	// original arrival order); replay-only discoveries are kept after
+	// it, but only when they exclude a model the record did not.
+	replayed := c.violations
+	c.violations = append([]Violation(nil), cp.Violations...)
+	c.lcViolated, c.scViolated = false, false
+	for _, v := range c.violations {
+		c.applyFlags(v)
+	}
+	for i := range replayed {
+		v := replayed[i]
+		novel := false
+		for _, m := range v.Models {
+			if (m == "LC" && !c.lcViolated) || (m == "SC" && !c.scViolated) {
+				novel = true
+			}
+		}
+		if novel {
+			c.violations = append(c.violations, v)
+			c.applyFlags(v)
+		}
+	}
+
+	c.events = cp.Events
+	c.shed = cp.Shed
+	c.sinceCheck = cp.SinceCheck
+	c.ended = cp.Ended
+	c.overrun = cp.Overrun
+	return c, nil
+}

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"sync/atomic"
+)
+
+// Ring is a bounded single-producer single-consumer lock-free ring
+// buffer of trace events: the ingest side of the streaming checker.
+// The connection reader pushes decoded events, the checker goroutine
+// pops them, and neither ever blocks the other — a full ring rejects
+// the push instead (the caller then applies the overflow policy: shed
+// the event, mark the stream overrun, and degrade the final verdict to
+// a typed INCONCLUSIVE(overrun) rather than silently dropping data).
+//
+// The implementation is the classic power-of-two ring with monotone
+// head/tail sequence counters (head is consumer-owned, tail is
+// producer-owned; each side only loads the other's counter), so the
+// hot path is one atomic load + one atomic store per operation.
+type Ring struct {
+	mask uint64
+	buf  []Event
+
+	// head is the next slot to pop (consumer-owned); tail is the next
+	// slot to push (producer-owned). tail-head is the fill level.
+	// Padded apart so the two sides do not false-share a cache line.
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+	_    [56]byte
+
+	// closed is set by the producer after its last push; a consumer
+	// seeing closed and an empty ring knows the stream has ended.
+	closed atomic.Bool
+	// shed counts events the producer dropped (ShedOne); a rejected
+	// TryPush alone is not a shed — the producer may retry instead.
+	shed atomic.Int64
+}
+
+// NewRing returns a ring with capacity rounded up to a power of two
+// (minimum 2).
+func NewRing(capacity int) *Ring {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &Ring{mask: n - 1, buf: make([]Event, n)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the current fill level (racy by nature; exact only from
+// within one side).
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// TryPush appends ev; it reports false when the ring is full, leaving
+// the caller to retry or shed (ShedOne). Producer-side only.
+func (r *Ring) TryPush(ev Event) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = ev
+	r.tail.Store(t + 1) // publishes the slot write (release)
+	return true
+}
+
+// TryPop removes the oldest event; ok is false when the ring is
+// currently empty. Consumer-side only.
+func (r *Ring) TryPop() (ev Event, ok bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return Event{}, false
+	}
+	ev = r.buf[h&r.mask]
+	r.buf[h&r.mask] = Event{} // drop references for the GC
+	r.head.Store(h + 1)
+	return ev, true
+}
+
+// Close marks the producer side finished. Idempotent.
+func (r *Ring) Close() { r.closed.Store(true) }
+
+// Closed reports whether the producer has finished.
+func (r *Ring) Closed() bool { return r.closed.Load() }
+
+// Drained reports end-of-stream: the producer closed and every pushed
+// event has been popped.
+func (r *Ring) Drained() bool {
+	// Order matters: observe closed before the emptiness check, so a
+	// concurrent close-after-push can not present as drained while the
+	// last event is still in the buffer.
+	return r.closed.Load() && r.head.Load() == r.tail.Load()
+}
+
+// ShedOne records one event dropped under the overflow policy.
+func (r *Ring) ShedOne() { r.shed.Add(1) }
+
+// Shed returns the number of events dropped under the overflow policy.
+func (r *Ring) Shed() int64 { return r.shed.Load() }

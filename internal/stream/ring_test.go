@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func namedEvent(i int) Event {
+	return Event{Ev: EvNode, Name: string(rune('A' + i%26)), Op: "N"}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := NewRing(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRingFIFOAndOverflow(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(namedEvent(i)) {
+			t.Fatalf("push %d rejected on non-full ring", i)
+		}
+	}
+	if r.TryPush(namedEvent(4)) {
+		t.Fatal("push accepted on full ring")
+	}
+	if r.Shed() != 0 {
+		t.Fatalf("shed = %d before any ShedOne", r.Shed())
+	}
+	r.ShedOne()
+	if r.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", r.Shed())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	for i := 0; i < 4; i++ {
+		ev, ok := r.TryPop()
+		if !ok || ev.Name != namedEvent(i).Name {
+			t.Fatalf("pop %d = %+v ok=%v", i, ev, ok)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+}
+
+func TestRingCloseDrained(t *testing.T) {
+	r := NewRing(2)
+	r.TryPush(namedEvent(0))
+	if r.Drained() {
+		t.Fatal("drained before close")
+	}
+	r.Close()
+	if !r.Closed() {
+		t.Fatal("not closed after Close")
+	}
+	if r.Drained() {
+		t.Fatal("drained while an event is buffered")
+	}
+	r.TryPop()
+	if !r.Drained() {
+		t.Fatal("not drained after close + empty")
+	}
+}
+
+// TestRingConcurrentSPSC drives the ring from one producer and one
+// consumer goroutine; under -race this exercises the publication
+// ordering of the head/tail counters.
+func TestRingConcurrentSPSC(t *testing.T) {
+	const total = 10000
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			v := int64(i)
+			if r.TryPush(Event{Ev: EvNode, Val: &v}) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		r.Close()
+	}()
+	got := 0
+	for !r.Drained() {
+		ev, ok := r.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if *ev.Val != int64(got) {
+			t.Fatalf("event %d carries value %d (reordered?)", got, *ev.Val)
+		}
+		got++
+	}
+	wg.Wait()
+	if got != total {
+		t.Fatalf("consumed %d of %d events", got, total)
+	}
+	if r.Shed() != 0 {
+		t.Fatalf("shed %d events despite nobody calling ShedOne", r.Shed())
+	}
+}

@@ -102,6 +102,14 @@ func ParseTrace(r io.Reader) (nt *NamedTrace, err error) {
 			if err != nil {
 				return nil, fmt.Errorf("line %d: bad value %q", v.line, v.val)
 			}
+			// The Undefined (⊥) sentinel is an in-band reservation of
+			// math.MinInt64. A literal value equal to it would silently
+			// change the read's candidate semantics (a numeric read would
+			// become "observed no write"), so the boundary rejects it
+			// instead; ⊥ is spelled "?" in this format.
+			if Value(n) == Undefined {
+				return nil, fmt.Errorf("line %d: value %d is reserved for the Undefined sentinel (spell ⊥ as \"?\")", v.line, n)
+			}
 			val = Value(n)
 		}
 		switch op.Kind {

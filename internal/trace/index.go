@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// Index is the value→writers map of a trace, built in one pass: for
+// every location, the writes grouped by stored value in increasing
+// node order. Candidates and Explainable used to rediscover this by
+// scanning every node per read (O(n) per call, O(n²) across a trace's
+// reads); the post-mortem constraint builder and the streaming checker
+// now share one Index per trace instead.
+type Index struct {
+	// byLoc[l] maps a stored value to the nodes writing it to l, in
+	// increasing node order (the order the full-scan Candidates
+	// produced, so candidate sets are byte-identical).
+	byLoc []map[Value][]dag.Node
+	// n is the node count at build time; Trace.Index rebuilds when the
+	// computation has grown since (the streaming checker's trace does).
+	n int
+}
+
+// NewIndex builds the value→writers index of t in one pass over the
+// nodes. The index is a snapshot: callers that mutate WriteVal or the
+// computation afterwards must rebuild it (the Trace.Index accessor
+// handles the common case).
+func NewIndex(t *Trace) *Index {
+	c := t.Comp
+	idx := &Index{byLoc: make([]map[Value][]dag.Node, c.NumLocs()), n: c.NumNodes()}
+	for u := 0; u < c.NumNodes(); u++ {
+		op := c.Op(dag.Node(u))
+		if op.Kind != computation.Write {
+			continue
+		}
+		m := idx.byLoc[op.Loc]
+		if m == nil {
+			m = make(map[Value][]dag.Node)
+			idx.byLoc[op.Loc] = m
+		}
+		v := t.WriteVal[u]
+		m[v] = append(m[v], dag.Node(u))
+	}
+	return idx
+}
+
+// Writers returns the writes of value v to location l, in increasing
+// node order. The slice is shared with the index; callers must not
+// mutate it.
+func (idx *Index) Writers(l computation.Loc, v Value) []dag.Node {
+	if int(l) >= len(idx.byLoc) || idx.byLoc[l] == nil {
+		return nil
+	}
+	return idx.byLoc[l][v]
+}
+
+// Index returns the trace's value→writers index, building it on first
+// use and caching it. A grown computation (more nodes than at build
+// time) rebuilds automatically; callers that overwrite WriteVal in
+// place after the index was built must call InvalidateIndex (the
+// package's own mutators do).
+func (t *Trace) Index() *Index {
+	if t.idx == nil || t.idx.n != t.Comp.NumNodes() {
+		t.idx = NewIndex(t)
+	}
+	return t.idx
+}
+
+// InvalidateIndex drops the cached value→writers index so the next
+// Index call rebuilds it against the current values.
+func (t *Trace) InvalidateIndex() { t.idx = nil }

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/dag"
+)
+
+// candidatesScan is the pre-index implementation: a full node scan per
+// read. Kept as the oracle the indexed path must match exactly.
+func candidatesScan(t *Trace, u dag.Node) []dag.Node {
+	op := t.Comp.Op(u)
+	cl := t.Comp.Closure()
+	var out []dag.Node
+	if t.ReadVal[u] == Undefined {
+		out = append(out, -1) // observer.Bottom
+	}
+	for _, w := range t.Comp.Writers(op.Loc) {
+		if t.WriteVal[w] == t.ReadVal[u] && !cl.Precedes(u, w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestIndexedCandidatesMatchScan pins the satellite contract: the
+// value→writers index yields candidate sets identical (members and
+// order) to the full-scan implementation, over the corpus and over
+// random traces.
+func TestIndexedCandidatesMatchScan(t *testing.T) {
+	check := func(t *testing.T, tr *Trace) {
+		t.Helper()
+		for u := 0; u < tr.Comp.NumNodes(); u++ {
+			if tr.Comp.Op(dag.Node(u)).Kind != computation.Read {
+				continue
+			}
+			got := tr.Candidates(dag.Node(u))
+			want := candidatesScan(tr, dag.Node(u))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("node %d: indexed candidates %v != scan %v", u, got, want)
+			}
+		}
+	}
+
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.trace"))
+	if len(paths) == 0 {
+		t.Fatal("no corpus traces found")
+	}
+	for _, p := range paths {
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nt, err := ParseTraceString(string(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, nt.Trace)
+		})
+	}
+
+	t.Run("random", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 50; trial++ {
+			c := computation.New(2)
+			n := 3 + rng.Intn(7)
+			for u := 0; u < n; u++ {
+				switch rng.Intn(3) {
+				case 0:
+					c.AddNode(computation.W(computation.Loc(rng.Intn(2))))
+				case 1:
+					c.AddNode(computation.R(computation.Loc(rng.Intn(2))))
+				default:
+					c.AddNode(computation.N)
+				}
+			}
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if rng.Intn(3) == 0 {
+						c.MustAddEdge(dag.Node(u), dag.Node(v))
+					}
+				}
+			}
+			tr := New(c)
+			for u := 0; u < n; u++ {
+				switch c.Op(dag.Node(u)).Kind {
+				case computation.Write:
+					tr.WriteVal[u] = Value(rng.Intn(3) + 1) // collisions on purpose
+				case computation.Read:
+					if rng.Intn(4) == 0 {
+						tr.ReadVal[u] = Undefined
+					} else {
+						tr.ReadVal[u] = Value(rng.Intn(4))
+					}
+				}
+			}
+			check(t, tr)
+		}
+	})
+}
+
+// TestIndexRebuildsOnGrowth: a trace whose computation grows (the
+// streaming checker's does, one node per event) must not serve stale
+// candidate sets from an index built against the shorter prefix.
+func TestIndexRebuildsOnGrowth(t *testing.T) {
+	c := computation.New(1)
+	w1 := c.AddNode(computation.W(0))
+	r := c.AddNode(computation.R(0))
+	tr := &Trace{Comp: c, WriteVal: make([]Value, 8), ReadVal: make([]Value, 8)}
+	tr.WriteVal[w1] = 5
+	tr.ReadVal[r] = 5
+	if got := tr.Candidates(r); len(got) != 1 || got[0] != w1 {
+		t.Fatalf("candidates before growth: %v", got)
+	}
+	w2 := c.AddNode(computation.W(0))
+	tr.WriteVal[w2] = 5
+	if got := tr.Candidates(r); len(got) != 2 || got[0] != w1 || got[1] != w2 {
+		t.Fatalf("candidates after growth: %v (stale index?)", got)
+	}
+}
+
+// TestInvalidateIndex covers explicit in-place value rewrites.
+func TestInvalidateIndex(t *testing.T) {
+	c := computation.New(1)
+	w := c.AddNode(computation.W(0))
+	r := c.AddNode(computation.R(0))
+	tr := New(c)
+	tr.WriteVal[w] = 1
+	tr.ReadVal[r] = 2
+	if got := tr.Candidates(r); len(got) != 0 {
+		t.Fatalf("unexpected candidates: %v", got)
+	}
+	tr.WriteVal[w] = 2
+	tr.InvalidateIndex()
+	if got := tr.Candidates(r); len(got) != 1 || got[0] != w {
+		t.Fatalf("candidates after invalidate: %v", got)
+	}
+}
+
+// TestParseRejectsUndefinedSentinel is the regression test for the
+// in-band-sentinel bug: a literal math.MinInt64 used to be accepted
+// and silently conflated with the ⊥ sentinel, flipping a numeric
+// read's semantics to "observed no write" (and a write's to an
+// after-the-fact Validate failure with a misleading message).
+func TestParseRejectsUndefinedSentinel(t *testing.T) {
+	sentinel := fmt.Sprintf("%d", math.MinInt64)
+	for _, tc := range []struct {
+		name, input string
+	}{
+		{"read", "locs x\nnode A W(x) = 1\nnode B R(x) = " + sentinel + "\nedge A B\n"},
+		{"write", "locs x\nnode A W(x) = " + sentinel + "\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTraceString(tc.input)
+			if err == nil {
+				t.Fatalf("sentinel value %s accepted", sentinel)
+			}
+			if !strings.Contains(err.Error(), "reserved for the Undefined sentinel") {
+				t.Fatalf("error does not name the sentinel: %v", err)
+			}
+		})
+	}
+	// Near-misses must still parse: the neighbouring value and the
+	// explicit ⊥ spellings.
+	ok := "locs x\nnode A W(x) = -9223372036854775807\nnode B R(x) = ?\nnode C R(x) = ⊥\n"
+	if _, err := ParseTraceString(ok); err != nil {
+		t.Fatalf("near-sentinel value rejected: %v", err)
+	}
+}

@@ -34,6 +34,9 @@ type Trace struct {
 	Comp     *computation.Computation
 	WriteVal []Value // indexed by node id; meaningful for writes
 	ReadVal  []Value // indexed by node id; meaningful for reads
+
+	// idx caches the value→writers index (see Index); nil until built.
+	idx *Index
 }
 
 // New returns a trace skeleton for c with all values zero.
@@ -69,6 +72,7 @@ func (t *Trace) UniqueWrites() *Trace {
 			t.WriteVal[u] = Value(u) + 1
 		}
 	}
+	t.InvalidateIndex()
 	return t
 }
 
@@ -98,6 +102,9 @@ func FromObserver(c *computation.Computation, o *observer.Observer) *Trace {
 // compatible with the trace: every write to u's location whose stored
 // value equals the read value and that does not strictly follow u,
 // plus ⊥ when the read value is Undefined. Panics if u is not a read.
+// The lookup goes through the trace's value→writers index (built once,
+// cached), so a whole trace's candidate sets cost one node scan total
+// instead of one per read.
 func (t *Trace) Candidates(u dag.Node) []dag.Node {
 	op := t.Comp.Op(u)
 	if op.Kind != computation.Read {
@@ -108,8 +115,8 @@ func (t *Trace) Candidates(u dag.Node) []dag.Node {
 	if t.ReadVal[u] == Undefined {
 		out = append(out, observer.Bottom)
 	}
-	for _, w := range t.Comp.Writers(op.Loc) {
-		if t.WriteVal[w] == t.ReadVal[u] && !cl.Precedes(u, w) {
+	for _, w := range t.Index().Writers(op.Loc, t.ReadVal[u]) {
+		if !cl.Precedes(u, w) {
 			out = append(out, w)
 		}
 	}

@@ -11,6 +11,7 @@ OUT=$(mktemp -d)
 
 go build -o "$BIN/ccmc" ./cmd/ccmc || exit 1
 go build -o "$BIN/backersim" ./cmd/backersim || exit 1
+go build -o "$BIN/verify" ./cmd/verify || exit 1
 go build -o "$BIN/reportcheck" ./scripts/reportcheck || exit 1
 
 echo "== ccmc -report (expect exit 0: Figure 2 verdicts are definitive)"
@@ -29,8 +30,17 @@ if [ "$code" -ne 1 ]; then
     exit 1
 fi
 
+echo "== verify -stream -report (expect exit 1: corr_violation is VIOLATED)"
+"$BIN/verify" -stream -report "$OUT/verify-stream.json" testdata/corr_violation.trace > /dev/null
+code=$?
+if [ "$code" -ne 1 ]; then
+    echo "report-check: verify -stream exit $code, want 1" >&2
+    exit 1
+fi
+
 echo "== validate reports against testdata/report.schema.json"
-"$BIN/reportcheck" -schema testdata/report.schema.json "$OUT/ccmc.json" "$OUT/backersim.json" || exit 1
+"$BIN/reportcheck" -schema testdata/report.schema.json \
+    "$OUT/ccmc.json" "$OUT/backersim.json" "$OUT/verify-stream.json" || exit 1
 
 # The reports must also reflect what actually ran: ccmc records one
 # engine run per model decision, backersim counts the explored plans.
@@ -40,6 +50,20 @@ if ! grep -q '"tool": "ccmc"' "$OUT/ccmc.json"; then
 fi
 if ! grep -q '"plans_done": 8' "$OUT/backersim.json"; then
     echo "report-check: backersim report lost the plan count" >&2
+    exit 1
+fi
+# The streaming run must tick the stream counters: one stream done,
+# events ingested, and at least one online violation on this trace.
+if ! grep -q '"streams_done": 1' "$OUT/verify-stream.json"; then
+    echo "report-check: verify -stream report lost the stream count" >&2
+    exit 1
+fi
+if grep -q '"stream_violations": 0' "$OUT/verify-stream.json"; then
+    echo "report-check: verify -stream report shows no online violations" >&2
+    exit 1
+fi
+if grep -q '"trace_events_ingested": 0' "$OUT/verify-stream.json"; then
+    echo "report-check: verify -stream report shows no ingested events" >&2
     exit 1
 fi
 
