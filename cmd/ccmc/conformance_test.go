@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/memmodel"
 	"repro/internal/serve"
 )
 
@@ -33,7 +34,10 @@ type cliResult struct {
 func parseCCMC(t *testing.T, out string) map[string]*cliResult {
 	t.Helper()
 	results := make(map[string]*cliResult)
-	known := map[string]bool{"SC": true, "LC": true, "NN": true, "NW": true, "WN": true, "WW": true}
+	known := make(map[string]bool)
+	for _, m := range memmodel.ModelNames() {
+		known[m] = true
+	}
 	var cur *cliResult
 	for _, line := range strings.Split(out, "\n") {
 		if !strings.HasPrefix(line, " ") {
@@ -57,6 +61,8 @@ func parseCCMC(t *testing.T, out string) map[string]*cliResult {
 			cur.locWitnesses = append(cur.locWitnesses, w)
 		case strings.HasPrefix(detail, "witness sort: "):
 			cur.witness = strings.TrimPrefix(detail, "witness sort: ")
+		case strings.HasPrefix(detail, "witness memory order: "):
+			cur.witness = strings.TrimPrefix(detail, "witness memory order: ")
 		case strings.HasPrefix(detail, "violating triple at location "):
 			cur.violation = strings.TrimPrefix(detail, "violating triple at location ")
 		}
@@ -81,8 +87,8 @@ func TestConformanceCheckCorpus(t *testing.T) {
 				t.Fatalf("ccmc exit %d; stderr: %s", code, errb.String())
 			}
 			cli := parseCCMC(t, out.String())
-			if len(cli) != 6 {
-				t.Fatalf("CLI reported %d models, want 6:\n%s", len(cli), out.String())
+			if want := len(memmodel.ModelNames()); len(cli) != want {
+				t.Fatalf("CLI reported %d models, want %d:\n%s", len(cli), want, out.String())
 			}
 
 			// Service answer for the same bytes.
@@ -104,8 +110,8 @@ func TestConformanceCheckCorpus(t *testing.T) {
 			if err := json.Unmarshal(data, &svc); err != nil {
 				t.Fatal(err)
 			}
-			if len(svc.Results) != 6 {
-				t.Fatalf("service reported %d models, want 6", len(svc.Results))
+			if want := len(memmodel.ModelNames()); len(svc.Results) != want {
+				t.Fatalf("service reported %d models, want %d", len(svc.Results), want)
 			}
 
 			// Byte-identical verdicts and witnesses, model by model.

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/serve"
+)
+
+// The litmus conformance suite: every fixture in testdata/litmus has a
+// golden verdict line in verdicts.txt covering all registered models,
+// and three frontends — the ccmc CLI, POST /v1/check, and
+// POST /v1/batch — must reproduce it byte for byte. The corpus is the
+// executable form of DESIGN.md §16's lattice claims (sb is TSO=IN,
+// iriw is RA=IN TSO=OUT, and so on), so a mismatch here means either a
+// decision procedure regressed or a frontend corrupted an answer.
+
+// litmusGolden loads verdicts.txt into fixture-name → verdict line.
+func litmusGolden(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile("../../testdata/litmus/verdicts.txt")
+	if err != nil {
+		t.Fatalf("no litmus golden: %v", err)
+	}
+	golden := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		name, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		golden[name] = line
+	}
+	return golden
+}
+
+// verdictLine renders one golden-format line from model → verdict.
+func verdictLine(t *testing.T, name string, verdicts map[string]string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(name)
+	for _, m := range memmodel.ModelNames() {
+		v, ok := verdicts[m]
+		if !ok {
+			t.Fatalf("%s: no verdict for model %s", name, m)
+		}
+		fmt.Fprintf(&b, " %s=%s", m, v)
+	}
+	return b.String()
+}
+
+func TestLitmusCorpusConformance(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/litmus/*.ccm")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no litmus corpus: %v (%v)", files, err)
+	}
+	sort.Strings(files)
+	golden := litmusGolden(t)
+	if len(golden) != len(files) {
+		t.Fatalf("golden has %d entries, corpus has %d fixtures", len(golden), len(files))
+	}
+
+	s := serve.New(serve.Config{CacheBytes: 1 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".ccm")
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("fixture %s has no golden line", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			// CLI verdicts.
+			var out, errb bytes.Buffer
+			if code := run([]string{file}, &out, &errb); code != 0 && code != 1 {
+				t.Fatalf("ccmc exit %d; stderr: %s", code, errb.String())
+			}
+			cliVerdicts := make(map[string]string)
+			for m, r := range parseCCMC(t, out.String()) {
+				cliVerdicts[m] = r.verdict
+			}
+			if got := verdictLine(t, name, cliVerdicts); got != want {
+				t.Errorf("CLI:\n got %s\nwant %s", got, want)
+			}
+
+			pair, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Service /v1/check verdicts for the same bytes.
+			body, _ := json.Marshal(serve.CheckRequest{Pair: string(pair)})
+			var svc serve.CheckResponse
+			postJSON(t, ts.URL+"/v1/check", body, &svc)
+			svcVerdicts := make(map[string]string)
+			for _, mr := range svc.Results {
+				svcVerdicts[mr.Model] = mr.Verdict.String()
+			}
+			if got := verdictLine(t, name, svcVerdicts); got != want {
+				t.Errorf("/v1/check:\n got %s\nwant %s", got, want)
+			}
+
+			// Service /v1/batch, one item per model.
+			var items []serve.BatchItem
+			for _, m := range memmodel.ModelNames() {
+				items = append(items, serve.BatchItem{ID: m, Pair: string(pair), Model: m})
+			}
+			body, _ = json.Marshal(serve.BatchRequest{Items: items})
+			var br serve.BatchResponse
+			postJSON(t, ts.URL+"/v1/batch", body, &br)
+			batchVerdicts := make(map[string]string)
+			for _, r := range br.Results {
+				batchVerdicts[r.Model] = r.Verdict.String()
+			}
+			if got := verdictLine(t, name, batchVerdicts); got != want {
+				t.Errorf("/v1/batch:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// postJSON posts body and decodes the 200 response into out.
+func postJSON(t *testing.T, url string, body []byte, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("service status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatal(err)
+	}
+}

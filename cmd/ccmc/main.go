@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/computation"
@@ -50,7 +51,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ccmc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	model := fs.String("model", "", "check only this model (SC, LC, NN, NW, WN, WW)")
+	model := fs.String("model", "", "check only this model (SC, LC, NN, NW, WN, WW, TSO, RA, CAUSAL; case-insensitive)")
 	explain := fs.Bool("explain", false, "print violation/witness details")
 	demo := fs.Bool("demo", false, "check the built-in Figure 2 pair instead of a file")
 	dot := fs.Bool("dot", false, "emit the pair as Graphviz DOT instead of checking")
@@ -123,6 +124,7 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, model string, explain, demo, 
 
 	models := memmodel.ModelNames()
 	if model != "" {
+		model = strings.ToUpper(model) // README shows `-model tso`; names are canonical uppercase
 		if _, ok := expt.ModelByName(model); !ok {
 			fmt.Fprintf(stderr, "ccmc: unknown model %q\n", model)
 			return 1
@@ -156,11 +158,11 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, model string, explain, demo, 
 		verdict := d.Verdict
 		anyOut = anyOut || verdict.Out()
 		anyInconclusive = anyInconclusive || verdict.Inconclusive()
-		if name == "SC" {
-			fmt.Fprintf(stdout, "%-4s %s  (search: %d states, %d memo hits, %d pruned, %d workers)\n",
+		if name == "SC" || name == "TSO" {
+			fmt.Fprintf(stdout, "%-6s %s  (search: %d states, %d memo hits, %d pruned, %d workers)\n",
 				name, verdict, d.Stats.States, d.Stats.MemoHits, d.Stats.Pruned, d.Stats.Workers)
 		} else {
-			fmt.Fprintf(stdout, "%-4s %s\n", name, verdict)
+			fmt.Fprintf(stdout, "%-6s %s\n", name, verdict)
 		}
 		if !explain {
 			continue
@@ -170,6 +172,12 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, model string, explain, demo, 
 			if verdict.In() {
 				fmt.Fprintf(stdout, "     witness sort: %s\n", named.RenderOrder(d.Order))
 			}
+		case "TSO":
+			if verdict.In() {
+				fmt.Fprintf(stdout, "     witness memory order: %s\n", named.RenderOrder(d.Order))
+			}
+		case "RA", "CAUSAL":
+			// Polynomial yes/no deciders; no witness artifact to print.
 		case "LC":
 			if verdict.In() {
 				for l, s := range d.LocOrders {

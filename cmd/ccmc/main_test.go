@@ -13,7 +13,7 @@ func TestRunDemo(t *testing.T) {
 	if code := run([]string{"-demo"}, &out, &errb); code != 0 {
 		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errb.String())
 	}
-	for _, want := range []string{"SC   OUT", "LC   OUT", "NW   IN"} {
+	for _, want := range []string{"SC     OUT", "LC     OUT", "NW     IN"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}

@@ -150,7 +150,7 @@ func printReport(rep *fleet.Report, pair string, explain bool, stdout, stderr io
 	for _, o := range rep.Outcomes {
 		anyOut = anyOut || o.Verdict.Out()
 		anyInconclusive = anyInconclusive || o.Verdict.Inconclusive()
-		fmt.Fprintf(stdout, "%-4s %s\n", o.Model, o.Verdict)
+		fmt.Fprintf(stdout, "%-6s %s\n", o.Model, o.Verdict)
 		if o.ShardsDone < o.ShardsTotal {
 			fmt.Fprintf(stderr, "fleetctl: degraded: %s covered %d/%d shards (%d lost to replica failures)\n",
 				o.Model, o.ShardsDone, o.ShardsTotal, o.ShardsTotal-o.ShardsDone)
@@ -166,6 +166,12 @@ func printReport(rep *fleet.Report, pair string, explain bool, stdout, stderr io
 					fmt.Fprintln(stderr, "fleetctl: degraded: SC witness found above a lost shard; a lower-root witness may exist")
 				}
 			}
+		case "TSO":
+			if o.Verdict.In() {
+				fmt.Fprintf(stdout, "     witness memory order: %s\n", o.Witness)
+			}
+		case "RA", "CAUSAL":
+			// Polynomial yes/no deciders; no witness artifact to print.
 		case "LC":
 			if o.Verdict.In() {
 				for l, s := range o.LocWitnesses {

@@ -53,7 +53,7 @@ func ccmcExpected(t *testing.T, path string, explain bool) string {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fmt.Fprintf(&b, "%-4s %s\n", name, d.Verdict)
+		fmt.Fprintf(&b, "%-6s %s\n", name, d.Verdict)
 		if !explain {
 			continue
 		}
@@ -62,6 +62,11 @@ func ccmcExpected(t *testing.T, path string, explain bool) string {
 			if d.Verdict.In() {
 				fmt.Fprintf(&b, "     witness sort: %s\n", named.RenderOrder(d.Order))
 			}
+		case "TSO":
+			if d.Verdict.In() {
+				fmt.Fprintf(&b, "     witness memory order: %s\n", named.RenderOrder(d.Order))
+			}
+		case "RA", "CAUSAL":
 		case "LC":
 			if d.Verdict.In() {
 				for l, s := range d.LocOrders {

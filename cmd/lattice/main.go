@@ -1,11 +1,14 @@
-// Command lattice regenerates Figure 1 of the paper: it machine-checks
-// every claimed relation among SC, LC, NN, NW, WN and WW over the
-// exhaustive universe of small computations, and runs the
+// Command lattice regenerates Figure 1 of the paper — enlarged by the
+// hardware/language models: it machine-checks every claimed relation
+// among SC, LC, NN, NW, WN, WW, TSO, RA and CAUSAL over the exhaustive
+// universe of small computations, re-decides the committed strictness
+// witnesses under testdata/litmus (the separations whose smallest
+// members exceed the sweep bound live only there), and runs the
 // constructible-version fixpoint experiments of Section 6.
 //
 // Usage:
 //
-//	lattice [-n MAXNODES] [-locs L] [-reduce] [-census] [-star NN|WN|NW] [-props MODEL] [-findtrap MODEL]
+//	lattice [-n MAXNODES] [-locs L] [-reduce] [-census] [-witnesses DIR] [-star NN|WN|NW] [-props MODEL] [-findtrap MODEL]
 //
 // Examples:
 //
@@ -57,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	props := fs.String("props", "", "check completeness/monotonicity/constructibility for this model")
 	findtrap := fs.String("findtrap", "", "search for the smallest non-constructibility witness of this model")
 	workers := fs.Int("workers", 0, "parallel sweep workers for the lattice check and -census (0 = GOMAXPROCS)")
+	witnesses := fs.String("witnesses", "testdata/litmus", "directory of committed strictness-witness fixtures re-checked by the lattice check (empty = skip)")
 	reduce := fs.Bool("reduce", false, "sweep canonical representatives only (orbit-weighted); identical output, one isomorphism-class member decided per class")
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -93,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lattice:", err)
 		return 2
 	}
-	code := runChecked(*maxNodes, *locs, *census, *star, *props, *findtrap, *workers, *reduce, sess.Rec, stdout, stderr)
+	code := runChecked(*maxNodes, *locs, *census, *star, *props, *findtrap, *workers, *reduce, *witnesses, sess.Rec, stdout, stderr)
 	if err := sess.Close(code); err != nil {
 		fmt.Fprintln(stderr, "lattice:", err)
 		if code == 0 {
@@ -107,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // onto the exit-code convention. rec observes the run: the default
 // lattice check streams per-edge phases and sweep gauges; the other
 // branches bracket their (serial) experiment in a RunStart/RunEnd pair.
-func runChecked(maxNodes, locs int, census bool, star, props, findtrap string, workers int, reduce bool, rec obs.Recorder, stdout, stderr io.Writer) int {
+func runChecked(maxNodes, locs int, census bool, star, props, findtrap string, workers int, reduce bool, witnesses string, rec obs.Recorder, stdout, stderr io.Writer) int {
 	// bracket wraps a serial experiment so -report/-trace sessions see
 	// one run per invocation even off the parallel sweep path.
 	bracket := func(name string, fn func() (string, bool)) int {
@@ -175,16 +179,40 @@ func runChecked(maxNodes, locs int, census bool, star, props, findtrap string, w
 	case reduce:
 		rep := expt.RunLatticeReduced(maxNodes, locs, workers, rec)
 		fmt.Fprint(stdout, rep)
+		code := 0
 		if !rep.AllOK() {
-			return 1
+			code = 1
 		}
-		return 0
+		return checkWitnesses(witnesses, code, stdout, stderr)
 	default:
 		rep := expt.RunLatticeObs(maxNodes, locs, workers, rec)
 		fmt.Fprint(stdout, rep)
+		code := 0
 		if !rep.AllOK() {
-			return 1
+			code = 1
 		}
-		return 0
+		return checkWitnesses(witnesses, code, stdout, stderr)
 	}
+}
+
+// checkWitnesses re-decides the committed strictness witnesses after a
+// lattice sweep: the sweep proves the inclusions exhaustively up to
+// -n, the fixtures carry the separations — including the ones whose
+// smallest members exceed the sweep bound. code is the sweep's exit
+// code; the combined run fails (1) if either half fails, and an
+// unreadable fixture directory is a usage/environment error (2).
+func checkWitnesses(dir string, code int, stdout, stderr io.Writer) int {
+	if dir == "" {
+		return code
+	}
+	rep, err := expt.CheckWitnesses(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "lattice:", err)
+		return 2
+	}
+	fmt.Fprint(stdout, rep)
+	if !rep.AllOK() && code == 0 {
+		code = 1
+	}
+	return code
 }

@@ -10,10 +10,13 @@ import (
 )
 
 // runLattice runs the CLI and returns (exit code, stdout, stderr).
+// The witness fixtures live relative to the repo root, so the helper
+// points the flag there; explicit -witnesses args in a test override
+// it (the last setting of a flag wins).
 func runLattice(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	code := run(args, &out, &errb)
+	code := run(append([]string{"-witnesses", "../../testdata/litmus"}, args...), &out, &errb)
 	return code, out.String(), errb.String()
 }
 
@@ -26,6 +29,59 @@ func TestDefaultLatticeCheck(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWitnessChecks: the default lattice check re-decides the
+// committed strictness witnesses and folds them into the exit code —
+// a tampered fixture fails the run, a missing directory is an
+// environment error, and an empty -witnesses skips the table.
+func TestWitnessChecks(t *testing.T) {
+	code, out, _ := runLattice(t, "-n", "3")
+	if code != 0 || !strings.Contains(out, "strictness witnesses") {
+		t.Fatalf("default check: exit %d, witness table missing:\n%s", code, out)
+	}
+	for _, want := range []string{"TSO ∖ CAUSAL", "RA ∖ CAUSAL", "sb.ccm", "iriw.ccm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("witness table missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, _ = runLattice(t, "-n", "3", "-witnesses", "")
+	if code != 0 || strings.Contains(out, "strictness witnesses") {
+		t.Fatalf("-witnesses \"\": exit %d, table skipped=%v", code, !strings.Contains(out, "strictness witnesses"))
+	}
+
+	if code, _, errb := runLattice(t, "-n", "3", "-witnesses", filepath.Join(t.TempDir(), "nope")); code != 2 || errb == "" {
+		t.Fatalf("missing witness dir: exit %d (want 2), stderr %q", code, errb)
+	}
+
+	// Tamper with one fixture: sb.ccm claims TSO ∖ SC, so an SC-member
+	// pair in its place must fail the claim and the run.
+	dir := t.TempDir()
+	src, err := filepath.Glob("../../testdata/litmus/*.ccm")
+	if err != nil || len(src) == 0 {
+		t.Fatal("no fixtures to copy")
+	}
+	for _, f := range src {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(f)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scIn, err := os.ReadFile(filepath.Join(dir, "mp_sync.ccm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sb.ccm"), scIn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runLattice(t, "-n", "3", "-witnesses", dir)
+	if code != 1 || !strings.Contains(out, "MISMATCH") {
+		t.Fatalf("tampered fixture: exit %d (want 1), output:\n%s", code, out)
 	}
 }
 

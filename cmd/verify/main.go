@@ -25,6 +25,19 @@
 // definitively violated, 2 on usage errors, 3 when the outcome is
 // inconclusive.
 //
+// A pair mode mirrors the ccmc CLI and the ccmd daemon's POST
+// /v1/check: given a committed (computation, observer) pair in the
+// .ccm format instead of a trace, decide membership under every
+// registered model (or one, with -model) through the same
+// memmodel.DecideByName front door the other frontends use:
+//
+//	verify -pair testdata/litmus/sb.ccm
+//	verify -pair -model TSO testdata/litmus/sb.ccm
+//
+// Pair-mode exit codes match ccmc: 0 when the survey completes (or the
+// single -model answers IN), 1 when a single -model answers OUT, 3
+// when any verdict is inconclusive.
+//
 // Two streaming modes mirror the ccmd daemon's POST /v1/trace:
 //
 //	verify -stream FILE   feed the trace event-by-event through the
@@ -50,7 +63,9 @@ import (
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/memmodel"
 	"repro/internal/obs"
+	"repro/internal/observer"
 	"repro/internal/stream"
 	"repro/internal/trace"
 )
@@ -80,6 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel root-splitting workers for the searches")
 	streamMode := fs.Bool("stream", false, "verify incrementally through the online checker, reporting stable violations mid-stream")
 	emitEvents := fs.Bool("events", false, "print the trace as its NDJSON event stream (the /v1/trace wire format) and exit")
+	pairMode := fs.Bool("pair", false, "FILE is a committed (computation, observer) pair in the .ccm format; decide model membership instead of verifying a trace")
+	model := fs.String("model", "", "with -pair, decide only this model (default: all registered models)")
 	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "verify:", err)
 		return 2
 	}
-	code := runChecks(fs, sess.Rec, *budget, *maxStates, *timeout, *maxMemoMB, *witness, *demo, *workers, *streamMode, *emitEvents, stdout, stderr)
+	code := runChecks(fs, sess.Rec, *budget, *maxStates, *timeout, *maxMemoMB, *witness, *demo, *workers, *streamMode, *emitEvents, *pairMode, *model, stdout, stderr)
 	if err := sess.Close(code); err != nil {
 		fmt.Fprintln(stderr, "verify:", err)
 		if code == 0 {
@@ -100,7 +117,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, timeout time.Duration,
-	maxMemoMB int64, witness, demo bool, workers int, streamMode, emitEvents bool, stdout, stderr io.Writer) int {
+	maxMemoMB int64, witness, demo bool, workers int, streamMode, emitEvents, pairMode bool, model string, stdout, stderr io.Writer) int {
+
+	if pairMode {
+		if demo || streamMode || emitEvents {
+			fmt.Fprintln(stderr, "verify: -pair cannot be combined with -demo, -stream, or -events")
+			return 2
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "usage: verify -pair [-model M] FILE")
+			return 2
+		}
+		return pairChecks(rec, fs.Arg(0), model, budget, maxStates, timeout, maxMemoMB, workers, stdout, stderr)
+	}
+	if model != "" {
+		fmt.Fprintln(stderr, "verify: -model applies only to -pair")
+		return 2
+	}
 
 	var nt *trace.NamedTrace
 	var err error
@@ -195,6 +228,64 @@ func runChecks(fs *flag.FlagSet, rec obs.Recorder, budget, maxStates int64, time
 		return 1
 	case inconclusive:
 		return 3
+	}
+	return 0
+}
+
+// pairChecks decides a committed (computation, observer) pair under
+// the registered models — the same memmodel.DecideByName path behind
+// ccmc, POST /v1/check, and fleetctl, so verify's verdicts cannot
+// drift from theirs (the litmus conformance suite pins all four to one
+// golden file).
+func pairChecks(rec obs.Recorder, file, model string, budget, maxStates int64, timeout time.Duration,
+	maxMemoMB int64, workers int, stdout, stderr io.Writer) int {
+
+	f, err := os.Open(file)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return 1
+	}
+	defer f.Close()
+	named, ofn, err := observer.ParsePair(f)
+	if err != nil {
+		fmt.Fprintln(stderr, "verify:", err)
+		return 1
+	}
+
+	models := memmodel.ModelNames()
+	if model != "" {
+		models = []string{strings.ToUpper(model)} // match ccmc: `-model tso` works
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	opts := memmodel.SearchOptions{Workers: workers, MaxMemoBytes: maxMemoMB << 20, Recorder: rec}
+	opts.Budget = budget
+	if maxStates > 0 {
+		opts.Budget = maxStates
+	}
+
+	anyOut, anyInconclusive := false, false
+	for _, name := range models {
+		d, err := memmodel.DecideByName(ctx, name, named.Comp, ofn, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "verify:", err)
+			return 2
+		}
+		anyOut = anyOut || d.Verdict.Out()
+		anyInconclusive = anyInconclusive || d.Verdict.Inconclusive()
+		fmt.Fprintf(stdout, "%s: %s  (search states: %d)\n", name, d.Verdict, d.Stats.States)
+	}
+	switch {
+	case anyInconclusive:
+		fmt.Fprintln(stderr, "verify: inconclusive: raise -timeout/-max-states and retry")
+		return 3
+	case anyOut && model != "":
+		return 1
 	}
 	return 0
 }

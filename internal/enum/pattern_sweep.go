@@ -35,8 +35,10 @@ type PatternSweep struct {
 	// unreduced per-edge Compare would report.
 	Edges []Relation
 	// Counts is the orbit-weighted census: Counts[p] is the number of
-	// universe pairs whose membership pattern is exactly p.
-	Counts [64]int64
+	// universe pairs whose membership pattern is exactly p (indexed by
+	// the full 9-bit pattern; Figure-1-only censuses land in the low 64
+	// entries).
+	Counts [512]int64
 	// Pairs and Computations are universe totals (orbit-weighted);
 	// RepPairs and RepComputations count what was actually decided.
 	Pairs, Computations       int64
@@ -63,8 +65,9 @@ type edgeWitness struct {
 // (Orbits = universe computations covered, SymmetrySkipped =
 // computations never materialized).
 func PatternSweepParallel(ctx context.Context, edges []PatternEdge, maxNodes, numLocs, workers int, rec obs.Recorder) (PatternSweep, error) {
+	numModels := len(memmodel.ModelNames())
 	for _, e := range edges {
-		if e.A < 0 || e.A >= 6 || e.B < 0 || e.B >= 6 {
+		if e.A < 0 || e.A >= numModels || e.B < 0 || e.B >= numModels {
 			panic(fmt.Sprintf("enum: pattern edge %+v out of range", e))
 		}
 	}
@@ -77,7 +80,7 @@ func PatternSweepParallel(ctx context.Context, edges []PatternEdge, maxNodes, nu
 		obs.Emit(rec, obs.Event{Kind: obs.RunStart, Total: workers, Live: live})
 	}
 	type shardRes struct {
-		counts                  [64]int64
+		counts                  [512]int64
 		pairs, members, decided int64
 		comps, repComps         int64
 		wits                    []edgeWitness

@@ -19,15 +19,19 @@ import (
 	"repro/internal/observer"
 )
 
-// Models returns the six models of Figure 1, strongest first.
+// Models returns the decidable models: the six of Figure 1 strongest
+// first, then the hardware/language models (TSO, RA, CAUSAL) appended
+// so existing table positions stay stable. The order matches
+// memmodel.ModelNames.
 func Models() []memmodel.Model {
 	return []memmodel.Model{
 		memmodel.SC, memmodel.LC, memmodel.NN,
 		memmodel.NW, memmodel.WN, memmodel.WW,
+		memmodel.TSO, memmodel.RA, memmodel.CAUSAL,
 	}
 }
 
-// ModelByName resolves one of the Figure 1 model names.
+// ModelByName resolves one of the Models by name.
 func ModelByName(name string) (memmodel.Model, bool) {
 	for _, m := range Models() {
 		if m.Name() == name {
@@ -37,7 +41,8 @@ func ModelByName(name string) (memmodel.Model, bool) {
 	return nil, false
 }
 
-// Edge is one claimed relation of Figure 1.
+// Edge is one claimed relation of the lattice (Figure 1 plus the
+// extended edges for TSO/RA/CAUSAL).
 type Edge struct {
 	A, B string // model names
 	// Want is the claimed relation: "⊊" (A strictly stronger than B) or
@@ -48,6 +53,31 @@ type Edge struct {
 	// inclusion must still hold; strictness witnesses are too big) and
 	// an incomparability claim is unfalsifiable.
 	MinNodes int
+	// MinLocs is the smallest number of locations at which the full
+	// relation manifests (0 means any). Below it the claim degrades the
+	// same way as below MinNodes. Figure 1 edges leave it 0 and keep
+	// their historical SC/LC auxiliary-universe carve-out instead.
+	MinLocs int
+}
+
+// edgeOK classifies r against e's claim over a universe of maxNodes
+// nodes and numLocs locations: at or above the edge's witness size the
+// classification must match Want exactly; below it, "⊊" degrades to
+// the inclusion half (A∖B must still be empty) and an incomparability
+// claim is unfalsifiable. This is the one shared judgment both lattice
+// runners apply, so the reduced and unreduced reports cannot drift.
+func edgeOK(e Edge, r enum.Relation, maxNodes, numLocs int) (got string, ok bool) {
+	got = classify(r)
+	ok = got == e.Want
+	if maxNodes < e.MinNodes || numLocs < e.MinLocs {
+		switch e.Want {
+		case "⊊":
+			ok = r.AOnly == 0
+		case "incomparable":
+			ok = true
+		}
+	}
+	return got, ok
 }
 
 // Figure1Edges returns the relations Figure 1 asserts. The LC/NN
@@ -63,6 +93,34 @@ func Figure1Edges() []Edge {
 		{A: "WN", B: "WW", Want: "⊊", MinNodes: 4},
 		{A: "NW", B: "WN", Want: "incomparable", MinNodes: 4},
 	}
+}
+
+// ExtendedEdges returns the machine-checked relations between the
+// hardware/language models (TSO, RA, CAUSAL) and the paper's lattice.
+// Every MinNodes/MinLocs bound below is the exact witness size found
+// by exhaustive sweeps; the two MinNodes: 5 entries are the cautionary
+// tale of DESIGN.md §16 — TSO ⊆ CAUSAL and RA ⊆ CAUSAL hold
+// exhaustively over every computation with ≤4 nodes and first break at
+// 5 (witnesses in testdata/litmus, machine-checked by cmd/lattice), so
+// a default -n 4 sweep checks only the surviving inclusion half.
+func ExtendedEdges() []Edge {
+	return []Edge{
+		{A: "SC", B: "TSO", Want: "⊊", MinNodes: 4, MinLocs: 1},
+		{A: "SC", B: "RA", Want: "⊊", MinNodes: 4, MinLocs: 2},
+		{A: "SC", B: "CAUSAL", Want: "⊊", MinNodes: 4, MinLocs: 1},
+		{A: "RA", B: "LC", Want: "⊊", MinNodes: 4, MinLocs: 2},
+		{A: "TSO", B: "RA", Want: "incomparable", MinNodes: 4, MinLocs: 2},
+		{A: "TSO", B: "CAUSAL", Want: "incomparable", MinNodes: 5, MinLocs: 2},
+		{A: "TSO", B: "LC", Want: "incomparable", MinNodes: 4, MinLocs: 2},
+		{A: "RA", B: "CAUSAL", Want: "incomparable", MinNodes: 5, MinLocs: 2},
+		{A: "CAUSAL", B: "LC", Want: "incomparable", MinNodes: 4, MinLocs: 2},
+	}
+}
+
+// LatticeEdges returns every claimed relation the lattice check
+// verifies: Figure 1 followed by the extended edges.
+func LatticeEdges() []Edge {
+	return append(Figure1Edges(), ExtendedEdges()...)
 }
 
 // EdgeResult is the verdict for one lattice edge over a universe.
@@ -117,7 +175,7 @@ func RunLatticeParallel(maxNodes, numLocs, workers int) LatticeReport {
 func RunLatticeObs(maxNodes, numLocs, workers int, rec obs.Recorder) LatticeReport {
 	rep := LatticeReport{MaxNodes: maxNodes, NumLocs: numLocs}
 	rep.Pairs = enum.CountPairsParallel(maxNodes, numLocs, workers)
-	for _, e := range Figure1Edges() {
+	for _, e := range LatticeEdges() {
 		a, ok := ModelByName(e.A)
 		if !ok {
 			panic("expt: unknown model " + e.A)
@@ -134,18 +192,7 @@ func RunLatticeObs(maxNodes, numLocs, workers int, rec obs.Recorder) LatticeRepo
 		obs.Emit(rec, obs.Event{Kind: obs.PhaseStart, Str: label})
 		r, _ := enum.CompareParallelObs(context.Background(), a, b, maxNodes, locs, workers,
 			obs.WithRun(rec, label))
-		got := classify(r)
-		ok = got == e.Want
-		if maxNodes < e.MinNodes {
-			// Below the edge's witness size, only the inclusion half of a
-			// "⊊" claim is checkable; incomparability is unfalsifiable.
-			switch e.Want {
-			case "⊊":
-				ok = r.AOnly == 0
-			case "incomparable":
-				ok = true
-			}
-		}
+		got, ok := edgeOK(e, r, maxNodes, numLocs)
 		rep.Edges = append(rep.Edges, EdgeResult{
 			Edge:     e,
 			Relation: r,
@@ -183,7 +230,7 @@ func RunLatticeReduced(maxNodes, numLocs, workers int, rec obs.Recorder) Lattice
 		}
 		panic("expt: unknown model " + name)
 	}
-	edges := Figure1Edges()
+	edges := LatticeEdges()
 	pes := make([]enum.PatternEdge, len(edges))
 	for i, e := range edges {
 		pes[i] = enum.PatternEdge{A: bit(e.A), B: bit(e.B)}
@@ -208,16 +255,7 @@ func RunLatticeReduced(maxNodes, numLocs, workers int, rec obs.Recorder) Lattice
 				obs.WithRun(rec, label))
 			r = side.Edges[0]
 		}
-		got := classify(r)
-		ok := got == e.Want
-		if maxNodes < e.MinNodes {
-			switch e.Want {
-			case "⊊":
-				ok = r.AOnly == 0
-			case "incomparable":
-				ok = true
-			}
-		}
+		got, ok := edgeOK(e, r, maxNodes, numLocs)
 		rep.Edges = append(rep.Edges, EdgeResult{Edge: e, Relation: r, Got: got, OK: ok})
 	}
 	return rep
@@ -236,15 +274,15 @@ func (r LatticeReport) AllOK() bool {
 // String renders the report as the Figure 1 table.
 func (r LatticeReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Figure 1 lattice over all computations ≤%d nodes, %d location(s): %d pairs\n",
+	fmt.Fprintf(&b, "Figure 1 lattice + TSO/RA/CAUSAL over all computations ≤%d nodes, %d location(s): %d pairs\n",
 		r.MaxNodes, r.NumLocs, r.Pairs)
-	fmt.Fprintf(&b, "%-4s %-14s %-4s  %-8s %-8s %-8s  %s\n", "A", "relation", "B", "|A∖B|", "|B∖A|", "|A∩B|", "verdict")
+	fmt.Fprintf(&b, "%-6s %-14s %-6s  %-8s %-8s %-8s  %s\n", "A", "relation", "B", "|A∖B|", "|B∖A|", "|A∩B|", "verdict")
 	for _, e := range r.Edges {
 		verdict := "OK"
 		if !e.OK {
 			verdict = fmt.Sprintf("MISMATCH (want %s)", e.Edge.Want)
 		}
-		fmt.Fprintf(&b, "%-4s %-14s %-4s  %-8d %-8d %-8d  %s\n",
+		fmt.Fprintf(&b, "%-6s %-14s %-6s  %-8d %-8d %-8d  %s\n",
 			e.Edge.A, e.Got, e.Edge.B, e.Relation.AOnly, e.Relation.BOnly, e.Relation.Both, verdict)
 	}
 	return b.String()

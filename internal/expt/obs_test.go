@@ -52,7 +52,7 @@ func TestRunLatticeObsEmitsPhases(t *testing.T) {
 	if !rep.AllOK() {
 		t.Fatalf("lattice check failed:\n%s", rep)
 	}
-	edges := Figure1Edges()
+	edges := LatticeEdges()
 	var phases, starts, ends int
 	labels := map[string]bool{}
 	log.mu.Lock()

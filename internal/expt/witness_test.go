@@ -1,0 +1,51 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWitnessClaimsHold re-decides every committed witness fixture.
+func TestWitnessClaimsHold(t *testing.T) {
+	rep, err := CheckWitnesses("../../testdata/litmus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(WitnessClaims()) {
+		t.Fatalf("checked %d claims, table has %d", len(rep.Results), len(WitnessClaims()))
+	}
+	for _, res := range rep.Results {
+		if !res.OK {
+			t.Errorf("%s (%s): %s", res.Claim.Edge, res.Claim.File, res.Detail)
+		}
+	}
+}
+
+// TestWitnessClaimsCoverExtendedEdges: every extended edge keeps its
+// separating fixture(s) — the strict half of a "⊊" claim needs a
+// B ∖ A member, an incomparability needs both directions. Dropping a
+// claim from the table can't silently un-witness an edge.
+func TestWitnessClaimsCoverExtendedEdges(t *testing.T) {
+	have := make(map[string]bool) // "In∖Out" directions witnessed
+	for _, c := range WitnessClaims() {
+		have[c.In+"∖"+c.Out] = true
+	}
+	for _, e := range ExtendedEdges() {
+		var need []string
+		switch e.Want {
+		case "⊊": // A ⊊ B: some pair in B but not A
+			need = []string{e.B + "∖" + e.A}
+		case "incomparable":
+			need = []string{e.A + "∖" + e.B, e.B + "∖" + e.A}
+		default:
+			t.Fatalf("edge %s %s %s: unhandled claim kind", e.A, e.Want, e.B)
+		}
+		for _, dir := range need {
+			if !have[dir] {
+				parts := strings.SplitN(dir, "∖", 2)
+				t.Errorf("edge %s %s %s: no witness fixture for %s ∖ %s",
+					e.A, e.Want, e.B, parts[0], parts[1])
+			}
+		}
+	}
+}

@@ -690,6 +690,7 @@ func (co *Coordinator) merge(models []string, units []*unit, scShards int, stats
 			if u.result != nil {
 				out.ShardsDone = 1
 				out.Verdict = u.result.Verdict
+				out.Witness = u.result.Witness
 				out.LocWitnesses = u.result.LocWitnesses
 				out.Violation = u.result.Violation
 			} else {

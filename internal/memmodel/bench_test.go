@@ -1,0 +1,49 @@
+package memmodel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/computation"
+	"repro/internal/observer"
+)
+
+// Decision-procedure benchmarks for the hardware/language models,
+// recorded by scripts/bench.sh and gated by scripts/bench-compare.sh.
+// The workload is the litmus corpus: IRIW (the 6-node independent-
+// reads fixture) exercises the TSO engine search and the polynomial
+// hb-based checks at the largest committed size, and SB adds the
+// classic store-buffering shape every weak-memory discussion starts
+// from.
+
+func loadLitmus(b *testing.B, name string) (*computation.Computation, *observer.Observer) {
+	b.Helper()
+	f, err := os.Open(filepath.Join("..", "..", "testdata", "litmus", name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	named, o, err := observer.ParsePair(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return named.Comp, o
+}
+
+func benchModel(b *testing.B, m Model) {
+	b.Helper()
+	for _, fixture := range []string{"sb.ccm", "iriw.ccm"} {
+		c, o := loadLitmus(b, fixture)
+		b.Run(fixture, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Contains(c, o)
+			}
+		})
+	}
+}
+
+func BenchmarkDecideTSO(b *testing.B)    { benchModel(b, TSO) }
+func BenchmarkDecideRA(b *testing.B)     { benchModel(b, RA) }
+func BenchmarkDecideCausal(b *testing.B) { benchModel(b, CAUSAL) }

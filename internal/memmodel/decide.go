@@ -3,6 +3,7 @@ package memmodel
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/computation"
 	"repro/internal/dag"
@@ -82,10 +83,13 @@ func QDagDecide(ctx context.Context, p Predicate, c *computation.Computation, o 
 	}
 }
 
-// ModelNames lists the decidable Figure 1 models, strongest first —
-// the order the ccmc CLI reports and the serving layer defaults to.
+// ModelNames lists the decidable models: the Figure 1 lattice
+// strongest first — the order the ccmc CLI reports and the serving
+// layer defaults to — followed by the hardware/language models (TSO,
+// RA, CAUSAL) appended after the paper's six so existing report
+// positions and pattern bits stay stable.
 func ModelNames() []string {
-	return []string{"SC", "LC", "NN", "NW", "WN", "WW"}
+	return []string{"SC", "LC", "NN", "NW", "WN", "WW", "TSO", "RA", "CAUSAL"}
 }
 
 // PredicateByName resolves a quantified-dag model name to its
@@ -115,9 +119,10 @@ type Decision struct {
 	Model string
 	// Verdict is the three-valued answer.
 	Verdict Verdict
-	// Stats reports the engine's work (SC only; zero otherwise).
+	// Stats reports the engine's work (SC and TSO; zero otherwise).
 	Stats SearchStats
-	// Order is the witnessing topological sort when SC answered In.
+	// Order is the witnessing sort when SC answered In, or the
+	// witnessing memory order when TSO did.
 	Order []dag.Node
 	// LocOrders holds one witnessing sort per location when LC answered In.
 	LocOrders [][]dag.Node
@@ -126,12 +131,12 @@ type Decision struct {
 	Violation *Violation
 }
 
-// DecideByName answers (c, o) ∈ model for one of the Figure 1 model
-// names under ctx, bracketing the decision in run events labeled with
-// the model name on opts.Recorder (the SC search emits its own engine
+// DecideByName answers (c, o) ∈ model for one of the ModelNames under
+// ctx, bracketing the decision in run events labeled with the model
+// name on opts.Recorder (the SC and TSO searches emit their own engine
 // events; the polynomial deciders get an explicit RunStart/RunEnd pair
 // so recorded sessions still see one run per decision). An unknown
-// model name is an error.
+// model name is an error naming the registered models.
 func DecideByName(ctx context.Context, model string, c *computation.Computation, o *observer.Observer, opts SearchOptions) (Decision, error) {
 	d := Decision{Model: model}
 	rec := opts.Recorder
@@ -145,10 +150,24 @@ func DecideByName(ctx context.Context, model string, c *computation.Computation,
 		obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
 		d.LocOrders, d.Verdict = LCDecide(ctx, c, o)
 		obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: d.Verdict.String()})
+	case "TSO":
+		tsoOpts := opts
+		tsoOpts.Recorder = obs.WithRun(rec, "TSO")
+		d.Order, d.Verdict, d.Stats = TSODecide(ctx, c, o, tsoOpts)
+	case "RA":
+		r := obs.WithRun(rec, "RA")
+		obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
+		d.Verdict = RADecide(ctx, c, o)
+		obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: d.Verdict.String()})
+	case "CAUSAL":
+		r := obs.WithRun(rec, "CAUSAL")
+		obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})
+		d.Verdict = CausalDecide(ctx, c, o)
+		obs.Emit(r, obs.Event{Kind: obs.RunEnd, Str: d.Verdict.String()})
 	default:
 		p, ok := PredicateByName(model)
 		if !ok {
-			return Decision{}, fmt.Errorf("memmodel: unknown model %q", model)
+			return Decision{}, fmt.Errorf("memmodel: unknown model %q (known models: %s)", model, strings.Join(ModelNames(), ", "))
 		}
 		r := obs.WithRun(rec, model)
 		obs.Emit(r, obs.Event{Kind: obs.RunStart, Total: 1})

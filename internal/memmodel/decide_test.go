@@ -2,6 +2,7 @@ package memmodel_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"repro/internal/memmodel"
@@ -17,6 +18,7 @@ func TestDecideByNameMatchesModels(t *testing.T) {
 	models := map[string]memmodel.Model{
 		"SC": memmodel.SC, "LC": memmodel.LC, "NN": memmodel.NN,
 		"NW": memmodel.NW, "WN": memmodel.WN, "WW": memmodel.WW,
+		"TSO": memmodel.TSO, "RA": memmodel.RA, "CAUSAL": memmodel.CAUSAL,
 	}
 	for _, name := range memmodel.ModelNames() {
 		d, err := memmodel.DecideByName(context.Background(), name, fx.Comp, fx.Obs, memmodel.SearchOptions{})
@@ -33,13 +35,18 @@ func TestDecideByNameMatchesModels(t *testing.T) {
 			t.Errorf("%s: verdict %v, Contains = %v", name, d.Verdict, want)
 		}
 		switch name {
-		case "SC":
+		case "SC", "TSO":
 			if d.Verdict.In() != (d.Order != nil) {
-				t.Errorf("SC: witness order present = %v, verdict %v", d.Order != nil, d.Verdict)
+				t.Errorf("%s: witness order present = %v, verdict %v", name, d.Order != nil, d.Verdict)
 			}
 		case "LC":
 			if d.Verdict.In() != (d.LocOrders != nil) {
 				t.Errorf("LC: witness sorts present = %v, verdict %v", d.LocOrders != nil, d.Verdict)
+			}
+		case "RA", "CAUSAL":
+			// Polynomial yes/no deciders: no witness artifacts either way.
+			if d.Order != nil || d.Violation != nil {
+				t.Errorf("%s: unexpected explanation artifacts: %v / %v", name, d.Order, d.Violation)
 			}
 		default:
 			if d.Verdict.Out() != (d.Violation != nil) {
@@ -51,8 +58,21 @@ func TestDecideByNameMatchesModels(t *testing.T) {
 
 func TestDecideByNameUnknownModel(t *testing.T) {
 	fx := paperfig.Figure2()
-	if _, err := memmodel.DecideByName(context.Background(), "TSO", fx.Comp, fx.Obs, memmodel.SearchOptions{}); err == nil {
+	_, err := memmodel.DecideByName(context.Background(), "PSO", fx.Comp, fx.Obs, memmodel.SearchOptions{})
+	if err == nil {
 		t.Fatal("unknown model name decided without error")
+	}
+	// The error must be self-describing: it names the offender and
+	// enumerates every registered model, so CLI/HTTP callers can fix
+	// their request without reading the source.
+	msg := err.Error()
+	if !strings.Contains(msg, `"PSO"`) {
+		t.Errorf("error does not name the unknown model: %q", msg)
+	}
+	for _, name := range memmodel.ModelNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list registered model %s: %q", name, msg)
+		}
 	}
 }
 

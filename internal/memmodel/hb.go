@@ -1,0 +1,89 @@
+package memmodel
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/computation"
+	"repro/internal/dag"
+	"repro/internal/observer"
+)
+
+// This file computes the happens-before relation the causal and
+// release/acquire deciders share: the transitive closure of the
+// computation's precedence edges together with the observation
+// ("reads-from") edges Φ induces,
+//
+//	hb = ( E(C) ∪ { (Φ(l,u), u) : Φ(l,u) ∉ {⊥, u} } )⁺
+//
+// In the computation-centric setting every node carries a full view
+// (Φ(l, u) is defined for every location, not just the ones u reads),
+// so observation edges arise from every non-⊥, non-self entry of Φ:
+// "u's view of l includes w" is causal knowledge of w exactly like a
+// read of it. The relation may be cyclic — an observer can claim a
+// view that feeds back into the past — and a cyclic hb is immediate
+// non-membership for any hb-based model, so the builder reports it
+// instead of panicking the way dag.Closure would.
+
+// hbRel is the happens-before reachability relation: desc[u] is the
+// set of nodes v ≠ u with u ≺_hb v.
+type hbRel struct {
+	n    int
+	desc []*bitset.Set
+}
+
+// prec reports u ≺_hb v (strict).
+func (h *hbRel) prec(u, v dag.Node) bool {
+	return u != v && h.desc[u].Contains(int(v))
+}
+
+// ancestors collects the strict hb-ancestors of u.
+func (h *hbRel) ancestors(u dag.Node) []dag.Node {
+	var anc []dag.Node
+	for x := 0; x < h.n; x++ {
+		if dag.Node(x) != u && h.desc[x].Contains(int(u)) {
+			anc = append(anc, dag.Node(x))
+		}
+	}
+	return anc
+}
+
+// buildHB computes hb for (c, o). ok is false when the relation is
+// cyclic (the pair is then outside every hb-based model). The observer
+// must already be validated.
+func buildHB(c *computation.Computation, o *observer.Observer) (*hbRel, bool) {
+	n := c.NumNodes()
+	// Adjacency: the dag's edges plus one edge per observation of a
+	// foreign write. Dedup is unnecessary — DFS tolerates multi-edges.
+	adj := make([][]dag.Node, n)
+	for u := 0; u < n; u++ {
+		adj[u] = append(adj[u], c.Dag().Succs(dag.Node(u))...)
+	}
+	for l := computation.Loc(0); int(l) < c.NumLocs(); l++ {
+		for u := 0; u < n; u++ {
+			w := o.Get(l, dag.Node(u))
+			if w != observer.Bottom && w != dag.Node(u) {
+				adj[w] = append(adj[w], dag.Node(u))
+			}
+		}
+	}
+	h := &hbRel{n: n, desc: make([]*bitset.Set, n)}
+	stack := make([]dag.Node, 0, n)
+	for u := 0; u < n; u++ {
+		seen := bitset.New(n)
+		stack = stack[:0]
+		stack = append(stack, adj[u]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen.Contains(int(v)) {
+				continue
+			}
+			seen.Add(int(v))
+			stack = append(stack, adj[v]...)
+		}
+		if seen.Contains(u) {
+			return nil, false // u ≺_hb u: cyclic
+		}
+		h.desc[u] = seen
+	}
+	return h, true
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/computation"
 	"repro/internal/dag"
 	"repro/internal/observer"
+	"repro/internal/search"
 )
 
 // This file implements the pooled single-pass membership decider the
@@ -33,21 +34,28 @@ import (
 // the scan combined). The differential tests pin the pattern bits to
 // the six Contains implementations over the full n ≤ 4 universe.
 
-// Pattern bits, in ModelNames() order.
+// Pattern bits, in ModelNames() order. The hardware/language models
+// (TSO, RA, CAUSAL) extend the original six Figure-1 bits without
+// renumbering them, so persisted counts stay comparable.
 const (
-	PatternSC uint8 = 1 << iota
+	PatternSC uint16 = 1 << iota
 	PatternLC
 	PatternNN
 	PatternNW
 	PatternWN
 	PatternWW
-	// PatternAll is the pattern of a pair in every Figure-1 model.
+	PatternTSO
+	PatternRA
+	PatternCAUSAL
+	// PatternAll is the pattern of a pair in every Figure-1 model (the
+	// paper's lattice; the extension bits are deliberately excluded so
+	// Figure-1 census comparisons keep their meaning).
 	PatternAll = PatternSC | PatternLC | PatternNN | PatternNW | PatternWN | PatternWW
 )
 
-// PatternModels lists the Figure-1 models in pattern bit order,
+// PatternModels lists the decidable models in pattern bit order,
 // aligned with ModelNames.
-func PatternModels() []Model { return []Model{SC, LC, NN, NW, WN, WW} }
+func PatternModels() []Model { return []Model{SC, LC, NN, NW, WN, WW, TSO, RA, CAUSAL} }
 
 // PatternDecider computes Figure-1 membership patterns for the
 // observers of one computation at a time. Reset once per computation,
@@ -111,14 +119,35 @@ func (pd *PatternDecider) Reset(c *computation.Computation) {
 
 // Pattern returns the membership pattern of (c, o) for a valid
 // observer o of the Reset computation.
-func (pd *PatternDecider) Pattern(o *observer.Observer) uint8 {
+func (pd *PatternDecider) Pattern(o *observer.Observer) uint16 {
 	pattern := pd.qdagBits(o)
+	sc := false
 	if pd.lcOK(o) {
 		pattern |= PatternLC
 		if pd.numLocs <= 1 {
-			pattern |= PatternSC // one location: SC and LC coincide
+			sc = true // one location: SC and LC coincide
 		} else if searchLastWriterOpts(pd.c, o, allLocs(pd.c), pd.opts).Found {
-			pattern |= PatternSC
+			sc = true
+		}
+	}
+	if sc {
+		pattern |= PatternSC
+	}
+	// The extension models reuse the shared happens-before relation;
+	// SC ⊆ TSO spares the engine when the pair is already known in.
+	if hb, ok := buildHB(pd.c, o); ok {
+		if raOK(pd.c, o, hb) {
+			pattern |= PatternRA
+		}
+		if causalOK(pd.c, o, hb) {
+			pattern |= PatternCAUSAL
+		}
+		if sc {
+			pattern |= PatternTSO
+		} else if spec, feasible := TSOSpec(pd.c, o); feasible {
+			if search.Run(spec, pd.opts).Found {
+				pattern |= PatternTSO
+			}
 		}
 	}
 	return pattern
@@ -129,9 +158,9 @@ func (pd *PatternDecider) Pattern(o *observer.Observer) uint8 {
 // every such triple violates NN; it violates NW/WN/WW exactly when the
 // corresponding side conditions (v resp. u writes l) hold. The scan
 // stops once all four are violated.
-func (pd *PatternDecider) qdagBits(o *observer.Observer) uint8 {
+func (pd *PatternDecider) qdagBits(o *observer.Observer) uint16 {
 	const qAll = PatternNN | PatternNW | PatternWN | PatternWW
-	var viol uint8
+	var viol uint16
 	for l := computation.Loc(0); int(l) < pd.numLocs; l++ {
 		for vi := 0; vi < pd.n && viol != qAll; vi++ {
 			v := dag.Node(vi)
@@ -182,7 +211,7 @@ func (pd *PatternDecider) qdagBits(o *observer.Observer) uint8 {
 // scanW looks for a descendant w of v with Φ(l,w) = Φ(l,u) ≠ Φ(l,v)
 // and accumulates the violated predicates. Reports whether the (u, v)
 // pair is settled (a violating w was found).
-func (pd *PatternDecider) scanW(o *observer.Observer, l computation.Loc, u, v dag.Node, phiV dag.Node, uWrites bool, viol *uint8) bool {
+func (pd *PatternDecider) scanW(o *observer.Observer, l computation.Loc, u, v dag.Node, phiV dag.Node, uWrites bool, viol *uint16) bool {
 	phiU := o.Get(l, u)
 	if phiU == phiV {
 		return false

@@ -59,14 +59,14 @@ func TestPatternMatchesContains(t *testing.T) {
 			pd.Reset(c)
 			observer.Enumerate(c, func(o *observer.Observer) bool {
 				got := pd.Pattern(o)
-				var want uint8
+				var want uint16
 				for i, m := range models {
 					if m.Contains(c, o) {
 						want |= 1 << i
 					}
 				}
 				if got != want {
-					t.Fatalf("n=%d locs=%d %v / %v: pattern %06b, Contains say %06b",
+					t.Fatalf("n=%d locs=%d %v / %v: pattern %09b, Contains say %09b",
 						tc.n, tc.locs, c, o, got, want)
 				}
 				pairs++

@@ -84,6 +84,11 @@ type EventCounts struct {
 	TraceEventsIngested int64 `json:"trace_events_ingested"`
 	StreamViolations    int64 `json:"stream_violations"`
 	StreamOverruns      int64 `json:"stream_overruns"`
+	// Decisions counts completed runs by run name. For the decision
+	// CLIs run names are model names (SC … TSO, RA, CAUSAL), making
+	// this the report-side twin of the ccmd /statsz per-model counters;
+	// experiment producers land under their run labels ("star WN").
+	Decisions map[string]int64 `json:"decisions"`
 }
 
 // ReportCollector is the recorder behind -report: it folds the event
@@ -98,11 +103,13 @@ type ReportCollector struct {
 
 // NewReportCollector starts a collector for the given tool invocation.
 func NewReportCollector(tool string, args []string) *ReportCollector {
-	return &ReportCollector{
+	c := &ReportCollector{
 		rep:  Report{Tool: tool, Args: args, Start: time.Now(), Runs: []RunReport{}},
 		open: make(map[string]time.Time),
 		cpu0: cpuSeconds(),
 	}
+	c.rep.Events.Decisions = make(map[string]int64)
+	return c
 }
 
 // Record folds one event into the report.
@@ -132,6 +139,7 @@ func (c *ReportCollector) Record(ev Event) {
 			rr.Workers = ev.Stats.Workers
 		}
 		c.rep.Runs = append(c.rep.Runs, rr)
+		c.rep.Events.Decisions[ev.Run]++
 	case GovernorFired:
 		c.rep.Events.GovernorsFired++
 	case MemoFreeze:

@@ -258,13 +258,17 @@ func (e *engine) encodeKey() []uint64 {
 }
 
 // admissible reports whether placing u next satisfies every constraint
-// u carries (its own-slot write constraint was compiled away).
+// u carries (its own-slot write constraint was compiled away), plus the
+// spec's dynamic gate when one is present.
 func (e *engine) admissible(u dag.Node) bool {
 	for _, con := range e.p.nodeCons[u] {
 		have := e.last[con.slot]
 		if con.set[0] != have && !containsNode(con.set, have) {
 			return false
 		}
+	}
+	if e.p.gate != nil && !e.p.gate(u, e.last, e.placed) {
+		return false
 	}
 	return true
 }
@@ -430,11 +434,21 @@ func Run(spec Spec, opts Options) Result {
 
 // frontier returns the admissible first-choice roots of a compiled
 // problem, in node order. At the root every slot's last writer is ⊥,
-// so a node is admissible iff all of its constraint sets contain ⊥.
-// The order is deterministic, which is what makes frontier indices a
-// meaningful shard coordinate across processes: every replica that
-// compiles the same Spec sees the same frontier.
+// so a node is admissible iff all of its constraint sets contain ⊥ and
+// the gate (when present) admits it from the empty state. The order is
+// deterministic, which is what makes frontier indices a meaningful
+// shard coordinate across processes: every replica that compiles the
+// same Spec sees the same frontier.
 func frontier(p *problem) []dag.Node {
+	var emptyLast []dag.Node
+	var emptyPlaced *bitset.Set
+	if p.gate != nil {
+		emptyLast = make([]dag.Node, p.numSlots)
+		for i := range emptyLast {
+			emptyLast[i] = dag.None
+		}
+		emptyPlaced = bitset.New(p.n)
+	}
 	var roots []dag.Node
 	for u := 0; u < p.n; u++ {
 		if p.indeg0[u] != 0 {
@@ -446,6 +460,9 @@ func frontier(p *problem) []dag.Node {
 				ok = false
 				break
 			}
+		}
+		if ok && p.gate != nil && !p.gate(dag.Node(u), emptyLast, emptyPlaced) {
+			ok = false
 		}
 		if ok {
 			roots = append(roots, dag.Node(u))
@@ -584,7 +601,7 @@ func trivialResult(rec obs.Recorder, res Result) Result {
 
 func runSerial(p *problem, sh *shared, opts Options, numRoots int) Result {
 	e := newEngine(p, sh, opts.MaxMemoBytes)
-	e.noSleep = opts.DisableSleep
+	e.noSleep = opts.DisableSleep || p.gate != nil
 	st := e.rec(p.n)
 	e.flushObs()
 	e.stats.Roots = numRoots
@@ -634,7 +651,7 @@ func runParallel(p *problem, sh *shared, opts Options, roots []dag.Node, workers
 		go func(w int) {
 			defer wg.Done()
 			e := newEngine(p, sh, memoCap)
-			e.noSleep = opts.DisableSleep
+			e.noSleep = opts.DisableSleep || p.gate != nil
 			e.worker = w
 			engines[w] = e
 			defer e.flushObs()

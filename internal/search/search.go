@@ -183,6 +183,24 @@ type Spec struct {
 	// instance trivially unsatisfiable. The engine may retain the
 	// returned slice; the caller must not mutate it afterwards.
 	Allowed func(slot int, u dag.Node) ([]dag.Node, bool)
+	// Gate, when non-nil, is an extra placement-time admission check:
+	// node u may be appended to the partial sort only if Gate returns
+	// true for the current last-writer vector (indexed by slot, dag.None
+	// = no writer placed) and placed set. The TSO decider uses it for
+	// store-forwarding constraints that singleton candidate sets cannot
+	// express.
+	//
+	// Soundness contract: Gate must be a pure function of (u, last,
+	// placed) — exactly the failed-state memo key plus the candidate
+	// node — so memoized refutations stay valid across search paths.
+	// Gate must not retain or mutate its arguments. Because the gate
+	// can read slots the conflict matrix knows nothing about, sleep-set
+	// pruning is disabled for gated specs (the commutation argument no
+	// longer holds); everything else — memoization, closure-feasibility
+	// pruning, parallel root splitting, RootLo/RootHi sharding — works
+	// unchanged, and the frontier consults the gate on the empty state
+	// so shard coordinates stay consistent across processes.
+	Gate func(u dag.Node, last []dag.Node, placed *bitset.Set) bool
 }
 
 // nodeCon is one placement-time constraint: when the node is placed,
@@ -225,6 +243,9 @@ type problem struct {
 	// proven empty is independent of it.
 	conflict []uint64
 
+	// gate is Spec.Gate, carried through compilation (nil = ungated).
+	gate func(u dag.Node, last []dag.Node, placed *bitset.Set) bool
+
 	placedWords int
 	keyWords    int
 	unsat       bool
@@ -242,6 +263,7 @@ func compile(spec Spec) *problem {
 		nodeCons:    make([][]nodeCon, n),
 		consNodes:   make([][]dag.Node, spec.NumSlots),
 		predWOff:    make([]int32, spec.NumSlots*n),
+		gate:        spec.Gate,
 		placedWords: (n + 63) / 64,
 	}
 	p.keyWords = p.placedWords + (spec.NumSlots+1)/2
@@ -348,6 +370,11 @@ func compile(spec Spec) *problem {
 			}
 		}
 		p.consNodes[s] = nodeBacking[start:len(nodeBacking):len(nodeBacking)]
+	}
+	if p.gate != nil {
+		// Gated specs never sleep (see Spec.Gate), so the conflict
+		// matrix would be dead weight.
+		return p
 	}
 	// Pass 3: the placement dependence relation for sleep-set pruning,
 	// built word-parallel (a per-cell Comparable loop costs more than

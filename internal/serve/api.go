@@ -50,15 +50,16 @@ type SearchStats struct {
 type ModelResult struct {
 	Model   string         `json:"model"`
 	Verdict search.Verdict `json:"verdict"`
-	// Witness is the witnessing topological sort (SC, In verdicts),
-	// rendered with the pair's node names.
+	// Witness is the witnessing topological sort (SC, In verdicts) or
+	// memory order (TSO, In verdicts), rendered with the pair's node
+	// names.
 	Witness string `json:"witness,omitempty"`
 	// LocWitnesses holds one witnessing sort per location (LC, In).
 	LocWitnesses []string `json:"loc_witnesses,omitempty"`
 	// Violation renders the witnessing triple "loc: u ≺ v ≺ w"
 	// (quantified-dag models, Out verdicts).
 	Violation string `json:"violation,omitempty"`
-	// Stats reports the engine's work (SC only).
+	// Stats reports the engine's work (SC and TSO).
 	Stats *SearchStats `json:"stats,omitempty"`
 }
 

@@ -207,6 +207,7 @@ func (s *Server) decideBatchItem(it batchItem, opts memmodel.SearchOptions, time
 	defer cancel()
 
 	res := BatchResult{Model: it.model, WitnessRoot: -1}
+	s.countDecision(it.model)
 	var cacheable bool
 	if it.model == "SC" {
 		scOpts := opts
@@ -231,6 +232,12 @@ func (s *Server) decideBatchItem(it batchItem, opts memmodel.SearchOptions, time
 		}
 		res.Verdict = d.Verdict
 		switch it.model {
+		case "TSO":
+			st := SearchStats{States: d.Stats.States, MemoHits: d.Stats.MemoHits, Pruned: d.Stats.Pruned, Workers: d.Stats.Workers}
+			res.Stats = &st
+			if d.Verdict.In() {
+				res.Witness = it.named.RenderOrder(d.Order)
+			}
 		case "LC":
 			if d.Verdict.In() {
 				for _, sort := range d.LocOrders {

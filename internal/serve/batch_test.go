@@ -247,7 +247,7 @@ func TestBatchBadRequests(t *testing.T) {
 	}{
 		{"empty batch", BatchRequest{}},
 		{"too many items", BatchRequest{Items: tooMany}},
-		{"unknown model", BatchRequest{Items: []BatchItem{{Pair: pair, Model: "TSO"}}}},
+		{"unknown model", BatchRequest{Items: []BatchItem{{Pair: pair, Model: "PSO"}}}},
 		{"bad pair", BatchRequest{Items: []BatchItem{{Pair: "not a pair", Model: "SC"}}}},
 		{"negative bound", BatchRequest{Items: []BatchItem{{Pair: pair, Model: "SC", RootLo: -1}}}},
 		{"empty range", BatchRequest{Items: []BatchItem{{Pair: pair, Model: "SC", RootLo: 2, RootHi: 2}}}},

@@ -209,13 +209,18 @@ type Statsz struct {
 	Draining bool  `json:"draining"`
 	// PanicsRecovered counts handler panics the recovery middleware
 	// turned into completed 500 exchanges.
-	PanicsRecovered int64                    `json:"panics_recovered"`
-	Admission       AdmissionStats           `json:"admission"`
-	Cache           CacheStats               `json:"cache"`
-	Engine          EngineTotals             `json:"engine"`
-	Stream          StreamStats              `json:"stream"`
-	Runtime         RuntimeStats             `json:"runtime"`
-	Endpoints       map[string]EndpointStats `json:"endpoints"`
+	PanicsRecovered int64          `json:"panics_recovered"`
+	Admission       AdmissionStats `json:"admission"`
+	Cache           CacheStats     `json:"cache"`
+	Engine          EngineTotals   `json:"engine"`
+	// Decisions counts model-membership decisions served per model
+	// (check and batch, cache misses only — a cached verdict repeats
+	// no decision). Every registered model has an entry, so a reader
+	// can tell "never asked" (0) apart from "model unknown" (absent).
+	Decisions map[string]int64         `json:"decisions"`
+	Stream    StreamStats              `json:"stream"`
+	Runtime   RuntimeStats             `json:"runtime"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 // Server is the assembled service. Create with New, expose with
@@ -232,7 +237,15 @@ type Server struct {
 	metrics    map[string]*endpointMetrics
 	totals     engineTotals
 	streams    streamTotals
+	decisions  map[string]*atomic.Int64
 	panics     atomic.Int64
+}
+
+// countDecision ticks the per-model decision counter behind /statsz.
+func (s *Server) countDecision(model string) {
+	if c := s.decisions[model]; c != nil {
+		c.Add(1)
+	}
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -259,6 +272,10 @@ func New(cfg Config) *Server {
 		metrics: map[string]*endpointMetrics{
 			"check": {}, "batch": {}, "verify": {}, "trace": {}, "enumerate": {}, "healthz": {}, "statsz": {},
 		},
+		decisions: make(map[string]*atomic.Int64),
+	}
+	for _, m := range memmodel.ModelNames() {
+		s.decisions[m] = &atomic.Int64{}
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	// Every decision records through the totals recorder so /statsz
@@ -492,9 +509,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 			if err != nil { // unreachable: models were validated
 				return nil, false, err
 			}
+			s.countDecision(model)
 			mr := ModelResult{Model: model, Verdict: d.Verdict}
 			switch model {
-			case "SC":
+			case "SC", "TSO":
 				st := SearchStats{States: d.Stats.States, MemoHits: d.Stats.MemoHits, Pruned: d.Stats.Pruned, Workers: d.Stats.Workers}
 				mr.Stats = &st
 				if d.Verdict.In() {
@@ -691,12 +709,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Admission:       adm,
 		Cache:           s.cache.stats(),
 		Engine:          s.totals.stats(),
+		Decisions:       make(map[string]int64, len(s.decisions)),
 		Stream:          s.streams.stats(),
 		Runtime:         readRuntimeStats(),
 		Endpoints:       make(map[string]EndpointStats, len(s.metrics)),
 	}
 	for name, m := range s.metrics {
 		doc.Endpoints[name] = m.stats()
+	}
+	for model, c := range s.decisions {
+		doc.Decisions[model] = c.Load()
 	}
 	writeJSON(w, http.StatusOK, doc)
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/computation"
 	"repro/internal/dag"
 	"repro/internal/expt"
+	"repro/internal/memmodel"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -243,7 +244,7 @@ func TestCheckBadRequests(t *testing.T) {
 	}{
 		{"invalid json", `{`},
 		{"unknown field", `{"pair":"locs x\nnode A W(x)","modles":["SC"]}`},
-		{"unknown model", `{"pair":"locs x\nnode A W(x)","models":["TSO"]}`},
+		{"unknown model", `{"pair":"locs x\nnode A W(x)","models":["PSO"]}`},
 		{"bad pair text", `{"pair":"locs x\nnode A FLY(x)"}`},
 		{"empty pair", `{"pair":""}`},
 	}
@@ -529,6 +530,40 @@ func TestStatszEngineTotals(t *testing.T) {
 	}
 	if st.Engine.States <= 0 {
 		t.Errorf("engine.states = %d, want > 0", st.Engine.States)
+	}
+}
+
+// TestStatszDecisionCounters: /statsz exposes one decision counter per
+// registered model — TSO, RA, and CAUSAL included — pre-seeded to 0 so
+// a reader can tell "never asked" apart from "model unknown", ticked on
+// cache misses only.
+func TestStatszDecisionCounters(t *testing.T) {
+	_, ts := testServer(t, Config{CacheBytes: 1 << 20})
+	st := statsz(t, ts.URL)
+	for _, m := range memmodel.ModelNames() {
+		if n, ok := st.Decisions[m]; !ok || n != 0 {
+			t.Errorf("fresh decisions[%s] = %d, %v; want 0, present", m, n, ok)
+		}
+	}
+	req := CheckRequest{Pair: readTestdata(t, "figure2.ccm")}
+	if resp, data := postJSON(t, ts.URL+"/v1/check", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status %d: %s", resp.StatusCode, data)
+	}
+	st = statsz(t, ts.URL)
+	for _, m := range memmodel.ModelNames() {
+		if st.Decisions[m] != 1 {
+			t.Errorf("decisions[%s] = %d after one full check, want 1", m, st.Decisions[m])
+		}
+	}
+	// A cached repeat answers without deciding anything again.
+	if resp, data := postJSON(t, ts.URL+"/v1/check", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat check status %d: %s", resp.StatusCode, data)
+	}
+	st = statsz(t, ts.URL)
+	for _, m := range memmodel.ModelNames() {
+		if st.Decisions[m] != 1 {
+			t.Errorf("decisions[%s] = %d after cached repeat, want still 1", m, st.Decisions[m])
+		}
 	}
 }
 
